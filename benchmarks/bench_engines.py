@@ -1,0 +1,63 @@
+"""Engine performance and agreement: fluid vs precise.
+
+Not a paper figure — this bench justifies the methodology: the fluid
+(change-point) engine must reproduce the per-request reference engine's
+energy numbers while running orders of magnitude faster, which is what
+makes the full figure sweeps tractable.
+"""
+
+import time
+
+from repro import simulate
+from repro.analysis.tables import format_table
+from repro.traces.synthetic import synthetic_storage_trace
+
+from benchmarks.common import save_report
+
+DURATION_MS = 2.0
+
+
+def test_engine_agreement_and_speed(benchmark):
+    trace = synthetic_storage_trace(duration_ms=DURATION_MS,
+                                    transfers_per_ms=100, seed=51)
+
+    start = time.perf_counter()
+    precise = simulate(trace, technique="baseline", engine="precise")
+    precise_s = time.perf_counter() - start
+
+    fluid = benchmark.pedantic(
+        lambda: simulate(trace, technique="baseline", engine="fluid"),
+        rounds=1, iterations=1)
+    start = time.perf_counter()
+    simulate(trace, technique="baseline", engine="fluid")
+    fluid_s = time.perf_counter() - start
+
+    rows = [
+        ["fluid", f"{fluid_s * 1e3:.1f} ms",
+         f"{fluid.energy_joules * 1e3:.4f}",
+         f"{fluid.utilization_factor:.4f}"],
+        ["precise", f"{precise_s * 1e3:.1f} ms",
+         f"{precise.energy_joules * 1e3:.4f}",
+         f"{precise.utilization_factor:.4f}"],
+        ["speedup / delta", f"{precise_s / max(fluid_s, 1e-9):.0f}x",
+         f"{abs(1 - fluid.energy_joules / precise.energy_joules) * 100:.2f}%",
+         f"{abs(fluid.utilization_factor - precise.utilization_factor):.4f}"],
+    ]
+    text = format_table(
+        ["engine", "wall clock", "energy mJ", "uf"], rows,
+        title=f"Engine cross-validation on {DURATION_MS} ms of "
+              f"Synthetic-St ({precise.requests} DMA-memory requests)")
+    save_report("engines", text)
+
+    assert abs(1 - fluid.energy_joules / precise.energy_joules) < 0.03
+    assert precise_s > fluid_s
+
+
+def test_fluid_engine_throughput(benchmark):
+    """Raw fluid-engine throughput on the paper-scale workload."""
+    trace = synthetic_storage_trace(duration_ms=10.0, transfers_per_ms=100,
+                                    seed=52)
+    result = benchmark.pedantic(
+        lambda: simulate(trace, technique="dma-ta-pl", cp_limit=0.10),
+        rounds=1, iterations=1)
+    assert result.transfers > 500

@@ -1,0 +1,50 @@
+"""Figure 2(a): the 4-serve / 8-idle cycle pattern of one DMA transfer.
+
+A single 8-KB transfer over one PCI-X bus: the chip serves each 8-byte
+DMA-memory request in 4 cycles and then idles ~8 cycles until the bus
+delivers the next one — two-thirds of the active energy wasted. Both
+engines must reproduce the exact pattern; the precise engine is the
+benchmarked one (it walks all 1024 requests event by event).
+"""
+
+from repro import simulate
+from repro.analysis.tables import format_table
+from repro.traces.records import DMATransfer
+from repro.traces.trace import Trace
+
+from benchmarks.common import save_report
+
+
+def _trace() -> Trace:
+    return Trace(name="fig2a",
+                 records=[DMATransfer(time=1000.0, page=0, size_bytes=8192)],
+                 duration_cycles=100_000.0)
+
+
+def test_fig2a_timeline(benchmark):
+    precise = benchmark.pedantic(
+        lambda: simulate(_trace(), technique="baseline", engine="precise"),
+        rounds=1, iterations=1)
+    fluid = simulate(_trace(), technique="baseline", engine="fluid")
+
+    rows = []
+    for result in (fluid, precise):
+        serve_per_request = result.time.serving_dma / result.requests
+        idle_per_request = result.time.idle_dma / result.requests
+        rows.append([
+            result.engine,
+            f"{serve_per_request:.2f}",
+            f"{idle_per_request:.2f}",
+            f"{serve_per_request + idle_per_request:.2f}",
+            f"{result.utilization_factor:.3f}",
+        ])
+    text = format_table(
+        ["engine", "serve cyc/req", "idle cyc/req", "period cyc/req", "uf"],
+        rows,
+        title="Figure 2(a): paper predicts 4 serve + 8 idle = 12-cycle "
+              "period, uf = 1/3")
+    save_report("fig2a_timeline", text)
+
+    for result in (fluid, precise):
+        assert abs(result.time.serving_dma / result.requests - 4.0) < 0.01
+        assert abs(result.utilization_factor - 1 / 3) < 0.01

@@ -1,0 +1,47 @@
+"""Figure 2(b): baseline memory-energy breakdown for the two workloads.
+
+The paper reports, under the dynamic low-level policy with three PCI-X
+buses: 48-51% of energy spent active-but-idle between the DMA-memory
+requests of in-flight transfers, 26-27% actually serving, only 3-4%
+waiting out idleness thresholds, and the rest in transitions and
+low-power residency. The regenerated breakdown must reproduce that
+ordering and the idle:serving ~ 2:1 ratio implied by the 3:1 bandwidth
+mismatch.
+"""
+
+from repro.analysis.tables import format_breakdown
+
+from benchmarks.common import get_trace, run_cached, save_report
+
+
+def test_fig2b_breakdown(benchmark):
+    names = ("OLTP-St", "OLTP-Db", "Synthetic-St", "Synthetic-Db")
+    traces = {name: get_trace(name) for name in names}
+
+    results = benchmark.pedantic(
+        lambda: {name: run_cached(traces[name], "baseline")
+                 for name in names},
+        rounds=1, iterations=1)
+
+    text = format_breakdown(
+        [results[name] for name in names], labels=list(names),
+        title="Figure 2(b): baseline energy breakdown "
+              "(paper: idle-DMA 48-51%, serving 26-27%, threshold 3-4%; "
+              "our OLTP substitutes run at a lower per-chip intensity, "
+              "so their powerdown floor weighs more — the idle:serving "
+              "2:1 ratio is the load-bearing shape)")
+    save_report("fig2b_breakdown", text)
+
+    # The 3:1 bandwidth mismatch pins idle-DMA ~ 2x serving everywhere
+    # DMA traffic dominates.
+    for name in ("OLTP-St", "Synthetic-St"):
+        e = results[name].energy
+        assert 1.6 < e.idle_dma / e.serving_dma < 2.4, name
+        assert e.fractions()["idle_threshold"] < 0.05, name
+    # At the paper's 100 transfers/ms, the published band is reproduced.
+    synth = results["Synthetic-St"].energy.fractions()
+    assert synth["idle_dma"] == max(synth.values())
+    assert 0.40 <= synth["idle_dma"] <= 0.55
+    # Processor accesses consume idle cycles: database traces idle less.
+    assert (results["Synthetic-Db"].energy.fractions()["idle_dma"]
+            < synth["idle_dma"])

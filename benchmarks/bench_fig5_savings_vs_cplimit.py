@@ -1,0 +1,141 @@
+"""Figure 5: energy savings vs CP-Limit for all four workloads.
+
+The paper's headline figure: DMA-TA and DMA-TA-PL savings over the
+baseline dynamic policy as the allowed client-perceived response-time
+degradation grows from 0 to 30%, for the storage and database traces.
+Expected shapes: savings rise quickly up to ~10% CP-Limit and then
+flatten; DMA-TA-PL (2 groups) beats DMA-TA alone; storage workloads
+save more than database workloads; with too many PL groups the
+migration overhead erodes (and can erase) the benefit.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.config import SimulationConfig
+from repro.sim.run import simulate
+
+from benchmarks.common import (
+    CP_LIMITS,
+    get_trace,
+    percent,
+    run_cached,
+    save_report,
+)
+
+TRACES = ("OLTP-St", "Synthetic-St", "OLTP-Db", "Synthetic-Db")
+TECHNIQUES = ("dma-ta", "dma-ta-pl")
+
+
+def test_fig5_savings_vs_cplimit(benchmark):
+    def sweep():
+        table = {}
+        for name in TRACES:
+            trace = get_trace(name)
+            baseline = run_cached(trace, "baseline")
+            for technique in TECHNIQUES:
+                for cp in CP_LIMITS:
+                    result = run_cached(trace, technique, cp_limit=cp)
+                    table[(name, technique, cp)] = (
+                        result.energy_savings_vs(baseline),
+                        result.client_degradation_vs(baseline),
+                        result.guarantee_violated,
+                    )
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for name in TRACES:
+        for technique in TECHNIQUES:
+            row = [name, technique]
+            for cp in CP_LIMITS:
+                savings, _, _ = table[(name, technique, cp)]
+                row.append(percent(savings))
+            rows.append(row)
+    text = format_table(
+        ["trace", "technique"] + [f"CP={cp:.0%}" for cp in CP_LIMITS],
+        rows,
+        title="Figure 5: energy savings vs CP-Limit "
+              "(paper: OLTP-St DMA-TA 6-24.8%, DMA-TA-PL 19.4-44.5%, "
+              "38.6% at CP=10%)")
+
+    deg_rows = []
+    for name in TRACES:
+        row = [name]
+        for cp in CP_LIMITS:
+            _, degradation, _ = table[(name, "dma-ta-pl", cp)]
+            row.append(percent(degradation))
+        deg_rows.append(row)
+    text += "\n\n" + format_table(
+        ["trace"] + [f"CP={cp:.0%}" for cp in CP_LIMITS], deg_rows,
+        title="Measured client-perceived degradation (must stay below "
+              "each CP-Limit)")
+    save_report("fig5_savings_vs_cplimit", text)
+
+    # Shape assertions.
+    for name in ("Synthetic-St",):
+        low = table[(name, "dma-ta", 0.02)][0]
+        high = table[(name, "dma-ta", 0.30)][0]
+        assert high > low, "savings must grow with CP-Limit"
+        assert high > 0.10
+    for name in TRACES:
+        for cp in CP_LIMITS:
+            _, degradation, violated = table[(name, "dma-ta-pl", cp)]
+            assert degradation <= cp + 0.015
+            assert not violated
+
+
+def test_fig5_group_count_ablation(benchmark):
+    """Section 5.2: 2 popularity groups beat 3 and 6 (migration churn).
+
+    The group structure only matters when the hot set spans several
+    chips, so this ablation uses smaller chips (2 MB) and a flatter
+    popularity curve than the headline runs; with one hot chip, every
+    group count degenerates to the same hot/cold split. The extra hot
+    groups impose a strict ordering among hot pages, and rank noise at
+    the group boundaries migrates pages back and forth — pure overhead,
+    the effect behind the paper's -15.2% at 6 groups.
+    """
+    import dataclasses
+
+    from repro.config import MemoryConfig, PopularityLayoutConfig
+    from repro.traces.synthetic import synthetic_storage_trace
+
+    from benchmarks.common import BENCH_MS
+
+    trace = synthetic_storage_trace(duration_ms=BENCH_MS, zipf_alpha=0.5,
+                                    seed=71)
+    memory = MemoryConfig(num_chips=32, chip_bytes=2 << 20)
+
+    def sweep():
+        savings = {}
+        base_config = dataclasses.replace(SimulationConfig(), memory=memory)
+        baseline = simulate(trace, config=base_config, technique="baseline")
+        for groups in (2, 3, 6):
+            # A flat workload never produces confident multi-reference
+            # counts inside one interval, so the noise filter is lowered
+            # to let the multi-chip hot set form — which is exactly the
+            # regime where extra groups churn.
+            config = dataclasses.replace(
+                base_config,
+                layout=PopularityLayoutConfig(
+                    num_groups=groups, min_hot_references=1,
+                    interval_cycles=8_000_000.0))
+            result = simulate(trace, config=config, technique="dma-ta-pl",
+                              cp_limit=0.10)
+            savings[groups] = (result.energy_savings_vs(baseline),
+                               result.migrations)
+        return savings
+
+    savings = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = format_table(
+        ["PL groups", "savings at CP=10%", "page moves"],
+        [[g, percent(s), m] for g, (s, m) in sorted(savings.items())],
+        title="Figure 5 inset: group-count ablation on a multi-chip hot "
+              "set (paper: 38.6% / 33.4% / -15.2% for 2 / 3 / 6 groups)")
+    save_report("fig5_group_ablation", text)
+
+    assert savings[2][0] >= savings[6][0] - 0.01
+    assert savings[6][1] >= savings[2][1], \
+        "more groups must migrate at least as much"

@@ -1,0 +1,46 @@
+"""Figure 7: utilization factors of DMA-TA and DMA-TA-PL vs CP-Limit.
+
+The paper: without the techniques uf ~ 0.33 (the 3:1 bandwidth mismatch);
+with DMA-TA-PL it reaches ~0.63 at a 10% CP-Limit and ~0.75 at 30%,
+growing quickly at first and then flattening — the same saturation the
+savings show.
+"""
+
+from repro.analysis.tables import format_table
+
+from benchmarks.common import CP_LIMITS, get_trace, percent, run_cached, save_report
+
+
+def test_fig7_utilization(benchmark):
+    trace = get_trace("Synthetic-St")
+
+    def sweep():
+        baseline = run_cached(trace, "baseline")
+        series = {"baseline": baseline.utilization_factor}
+        for technique in ("dma-ta", "dma-ta-pl"):
+            for cp in CP_LIMITS:
+                result = run_cached(trace, technique, cp_limit=cp)
+                series[(technique, cp)] = result.utilization_factor
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for technique in ("dma-ta", "dma-ta-pl"):
+        row = [technique]
+        for cp in CP_LIMITS:
+            row.append(f"{series[(technique, cp)]:.3f}")
+        rows.append(row)
+    text = format_table(
+        ["technique"] + [f"CP={cp:.0%}" for cp in CP_LIMITS], rows,
+        title=f"Figure 7: utilization factor vs CP-Limit "
+              f"(baseline uf = {series['baseline']:.3f}; paper: 0.33 "
+              f"baseline, 0.63 @10%, 0.75 @30% for DMA-TA-PL)")
+    save_report("fig7_utilization", text)
+
+    assert abs(series["baseline"] - 1 / 3) < 0.05
+    tapl = [series[("dma-ta-pl", cp)] for cp in CP_LIMITS]
+    assert tapl[0] < tapl[2] <= tapl[-1] + 0.02, "uf must rise with CP"
+    assert all(series[("dma-ta-pl", cp)] >= series[("dma-ta", cp)] - 0.02
+               for cp in CP_LIMITS)
+    assert all(u <= 1.0 for u in tapl)

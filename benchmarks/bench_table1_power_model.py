@@ -1,0 +1,60 @@
+"""Table 1: power states, transition costs, and derived thresholds.
+
+Regenerates the paper's Table 1 from the executable model and prints the
+break-even thresholds the dynamic policy derives from it. The benchmarked
+operation is the chip model's accrual hot path.
+"""
+
+from repro.analysis.tables import format_table
+from repro.energy.policies import break_even_cycles, default_dynamic_policy
+from repro.energy.rdram import rdram_1600_model
+from repro.energy.states import LOW_POWER_STATES, PowerState
+from repro.memory.chip import ChipRates, FluidChip
+
+from benchmarks.common import save_report
+
+
+def _table1_text() -> str:
+    model = rdram_1600_model()
+    rows = []
+    for state in PowerState:
+        rows.append([state.value, f"{model.power(state) * 1e3:.0f} mW", "-"])
+    for state in LOW_POWER_STATES:
+        down = model.downward[state]
+        rows.append([f"active -> {state.value}",
+                     f"{down.power_watts * 1e3:.0f} mW",
+                     f"{down.time_cycles:.0f} cycles"])
+    for state in LOW_POWER_STATES:
+        up = model.upward[state]
+        ns = up.time_cycles / model.frequency_hz * 1e9
+        rows.append([f"{state.value} -> active",
+                     f"{up.power_watts * 1e3:.0f} mW", f"+{ns:.0f} ns"])
+    table = format_table(["state/transition", "power", "time"], rows,
+                         title="Table 1 (regenerated from the model)")
+    thresholds = format_table(
+        ["state", "break-even idle (cycles)"],
+        [[s.value, f"{break_even_cycles(model, s):.1f}"]
+         for s in LOW_POWER_STATES],
+        title="Derived dynamic-policy thresholds")
+    return table + "\n\n" + thresholds
+
+
+def test_table1_power_model(benchmark):
+    model = rdram_1600_model()
+    chip = FluidChip(0, model, default_dynamic_policy(model),
+                     start_asleep=False)
+    chip.set_busy(0.0, True, ChipRates(dma=1 / 3))
+
+    # Hot path microbenchmark: one closed-form accrual step.
+    state = {"t": 0.0}
+
+    def step():
+        state["t"] += 1000.0
+        chip.advance(state["t"])
+
+    benchmark.pedantic(step, rounds=200, iterations=1)
+    save_report("table1_power_model", _table1_text())
+
+    # Sanity: the published numbers survived transcription.
+    assert model.power(PowerState.ACTIVE) == 0.300
+    assert model.power(PowerState.POWERDOWN) == 0.003

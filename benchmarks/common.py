@@ -1,0 +1,78 @@
+"""Shared infrastructure for the reproduction benches.
+
+Each bench regenerates one of the paper's tables or figures: it runs the
+simulations under ``pytest-benchmark`` (one round — these are full
+simulations, not microbenchmarks), prints the regenerated rows/series,
+and archives them under ``benchmarks/results/`` so the EXPERIMENTS.md
+numbers can be traced to a run.
+
+``REPRO_BENCH_MS`` scales every trace's duration (default 25 ms). Longer
+traces amortise PL's one-time migration cost and sharpen every estimate,
+at a linear cost in wall-clock time.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro import simulate
+from repro.config import SimulationConfig
+from repro.sim.results import SimulationResult
+from repro.traces.oltp import oltp_database_trace, oltp_storage_trace
+from repro.traces.synthetic import synthetic_database_trace, synthetic_storage_trace
+from repro.traces.trace import Trace
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Trace duration for every bench, in milliseconds.
+BENCH_MS = float(os.environ.get("REPRO_BENCH_MS", "25"))
+
+#: The CP-Limit grid of Figures 5 and 7.
+CP_LIMITS = (0.02, 0.05, 0.10, 0.20, 0.30)
+
+_TRACE_CACHE: dict[str, Trace] = {}
+_RUN_CACHE: dict[tuple, SimulationResult] = {}
+
+
+def get_trace(name: str, **overrides) -> Trace:
+    """Build (and cache) one of the four evaluation traces by name."""
+    key = f"{name}:{sorted(overrides.items())}"
+    if key not in _TRACE_CACHE:
+        duration = overrides.pop("duration_ms", BENCH_MS)
+        makers = {
+            "OLTP-St": lambda: oltp_storage_trace(duration_ms=duration,
+                                                  **overrides),
+            "OLTP-Db": lambda: oltp_database_trace(duration_ms=duration,
+                                                   **overrides),
+            "Synthetic-St": lambda: synthetic_storage_trace(
+                duration_ms=duration, **overrides),
+            "Synthetic-Db": lambda: synthetic_database_trace(
+                duration_ms=duration, **overrides),
+        }
+        _TRACE_CACHE[key] = makers[name]()
+    return _TRACE_CACHE[key]
+
+
+def run_cached(trace: Trace, technique: str,
+               config: SimulationConfig | None = None,
+               cp_limit: float | None = None,
+               label: str | None = None) -> SimulationResult:
+    """Run a simulation once per unique (trace, technique, cp, config)."""
+    key = (id(trace), technique, cp_limit, label or "")
+    if key not in _RUN_CACHE:
+        _RUN_CACHE[key] = simulate(trace, config=config,
+                                   technique=technique, cp_limit=cp_limit)
+    return _RUN_CACHE[key]
+
+
+def save_report(name: str, text: str) -> None:
+    """Print the regenerated table and archive it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====")
+    print(text)
+
+
+def percent(value: float) -> str:
+    return f"{value * 100:6.1f}%"

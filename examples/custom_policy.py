@@ -1,0 +1,82 @@
+"""Extending the library: a custom low-level policy and platform.
+
+Shows the extension points a systems researcher would use:
+
+* build a custom :class:`DynamicThresholdPolicy` (here: a conservative
+  two-step policy that never enters powerdown — trading idle energy for
+  wake latency) and compare it against the break-even defaults and a
+  static nap policy, reproducing prior work's static-vs-dynamic finding;
+* swap the device model for the DDR-SDRAM variant (Section 3's "the
+  analysis is similar with different absolute numbers") and watch the
+  bandwidth-ratio geometry change.
+
+Run:  python examples/custom_policy.py
+"""
+
+import dataclasses
+
+from repro import (
+    DynamicThresholdPolicy,
+    PowerState,
+    StaticPolicy,
+    ddr_sdram_model,
+    simulate,
+    synthetic_storage_trace,
+)
+from repro.analysis.tables import format_table
+from repro.config import MemoryConfig, SimulationConfig
+
+
+def main() -> None:
+    trace = synthetic_storage_trace(duration_ms=15.0, seed=9)
+
+    no_powerdown = DynamicThresholdPolicy.from_mapping({
+        PowerState.STANDBY: 25.0,
+        PowerState.NAP: 100.0,
+    })
+    static_nap = StaticPolicy(state=PowerState.NAP)
+
+    rows = []
+    for name, policy in (("dynamic (break-even)", None),
+                         ("dynamic (no powerdown)", no_powerdown),
+                         ("static nap", static_nap)):
+        config = SimulationConfig()
+        if policy is not None:
+            config = dataclasses.replace(config, policy=policy)
+        result = simulate(trace, config=config, technique="baseline")
+        rows.append([name, f"{result.energy_joules * 1e3:.3f}",
+                     f"{result.energy.fractions()['low_power']:.0%}",
+                     result.wakes])
+    print(format_table(
+        ["low-level policy", "energy mJ", "low-power share", "wakes"],
+        rows,
+        title="Low-level policy comparison (dynamic beats static, "
+              "as in Lebeck et al.)"))
+
+    # --- DDR variant -----------------------------------------------------
+    ddr_memory = MemoryConfig(power_model=ddr_sdram_model())
+    ddr_config = SimulationConfig(memory=ddr_memory)
+    rdram_config = SimulationConfig()
+    rows = []
+    for name, config in (("RDRAM 3.2 GB/s", rdram_config),
+                         ("DDR 2.1 GB/s", ddr_config)):
+        base = simulate(trace, config=config, technique="baseline")
+        ta = simulate(trace, config=config, technique="dma-ta",
+                      cp_limit=0.10)
+        rows.append([
+            name,
+            f"{config.bandwidth_ratio:.2f}",
+            f"{config.saturating_buses}",
+            f"{base.utilization_factor:.3f}",
+            f"{ta.energy_savings_vs(base):+.1%}",
+        ])
+    print()
+    print(format_table(
+        ["device", "Rm/Rb", "k", "baseline uf", "DMA-TA savings @10%"],
+        rows,
+        title="Device sensitivity: the slower DDR device narrows the "
+              "mismatch, shrinking both the waste and the savings"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Database-server tuning: picking a CP-Limit for an SLA.
+
+A database operator wants maximum memory-energy savings subject to a
+client-visible response-time budget. This example sweeps the CP-Limit on
+an OLTP-Db-style trace (network DMAs interleaved with ~233 processor
+accesses per transfer), showing the savings/performance trade-off curve
+of Figure 5 and how the calibrated per-request parameter ``mu`` scales.
+
+Run:  python examples/database_server_tuning.py
+"""
+
+from repro import calibrate_mu, oltp_database_trace, simulate
+from repro.analysis.tables import format_table
+from repro.config import SimulationConfig
+
+CP_LIMITS = (0.02, 0.05, 0.10, 0.20, 0.30)
+
+
+def main() -> None:
+    trace = oltp_database_trace(duration_ms=25.0, seed=2)
+    config = SimulationConfig()
+    baseline = simulate(trace, config=config, technique="baseline")
+    print(f"baseline: {baseline.energy_joules * 1e3:.3f} mJ, "
+          f"uf={baseline.utilization_factor:.3f}, "
+          f"{baseline.proc_accesses} processor accesses interleaved")
+
+    rows = []
+    for cp in CP_LIMITS:
+        calibration = calibrate_mu(trace, config, cp)
+        result = simulate(trace, config=config, technique="dma-ta-pl",
+                          cp_limit=cp)
+        rows.append([
+            f"{cp:.0%}",
+            f"{calibration.mu:.1f}",
+            f"{result.energy_savings_vs(baseline):+.1%}",
+            f"{result.client_degradation_vs(baseline):+.2%}",
+            f"{result.utilization_factor:.3f}",
+            "yes" if result.guarantee_violated else "no",
+        ])
+    print()
+    print(format_table(
+        ["CP-Limit", "calibrated mu", "energy savings",
+         "measured degradation", "uf", "guarantee violated?"],
+        rows,
+        title="CP-Limit sweep on OLTP-Db (the Figure 5 trade-off)"))
+
+    print("\nReading the table: pick the smallest CP-Limit whose savings "
+          "satisfy your power budget; the measured degradation always "
+          "stays below the limit, and most of the benefit arrives by "
+          "~10% — beyond that the chips are already gathered to full "
+          "utilization (Section 5.2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Storage-server study: where does the memory energy go, and how much
+can each technique reclaim?
+
+Walks the full pipeline the paper's evaluation uses for OLTP-St:
+
+1. generate a trace through the storage-server model (buffer cache +
+   striped disk array + NIC/HBA DMA path);
+2. characterise it (Table 2 row, Figure 4 popularity curve);
+3. run baseline / DMA-TA / PL / DMA-TA-PL and compare the breakdowns
+   (Figure 6) and the utilization factors (Figure 7).
+
+Run:  python examples/storage_server_energy.py
+"""
+
+from repro import characterize, oltp_storage_trace, simulate
+from repro.analysis.tables import format_breakdown, format_table
+from repro.traces.stats import top_fraction_access_share
+
+CP_LIMIT = 0.10
+
+
+def main() -> None:
+    trace = oltp_storage_trace(duration_ms=30.0, seed=1)
+
+    stats = characterize(trace)
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["network DMA rate", f"{stats.net_transfers_per_ms:.1f}/ms"],
+            ["disk DMA rate", f"{stats.disk_transfers_per_ms:.1f}/ms"],
+            ["mean transfer", f"{stats.mean_transfer_bytes:.0f} B"],
+            ["pages touched", stats.pages_referenced],
+            ["top-20% access share",
+             f"{top_fraction_access_share(trace, 0.2):.0%}"],
+            ["cache hit ratio",
+             f"{trace.metadata['cache_hit_ratio']:.0%}"],
+        ],
+        title="Workload characterisation (compare the paper's Table 2 "
+              "and Figure 4)"))
+
+    baseline = simulate(trace, technique="baseline")
+    ta = simulate(trace, technique="dma-ta", cp_limit=CP_LIMIT)
+    pl = simulate(trace, technique="pl")
+    tapl = simulate(trace, technique="dma-ta-pl", cp_limit=CP_LIMIT)
+
+    print()
+    print(format_breakdown(
+        [baseline, ta, pl, tapl],
+        labels=["baseline", "DMA-TA", "PL", "DMA-TA-PL"],
+        title=f"Energy breakdowns (CP-Limit {CP_LIMIT:.0%})"))
+
+    rows = []
+    for result, name in ((baseline, "baseline"), (ta, "DMA-TA"),
+                         (pl, "PL"), (tapl, "DMA-TA-PL")):
+        rows.append([
+            name,
+            f"{result.energy_joules * 1e3:.3f}",
+            f"{result.energy_savings_vs(baseline):+.1%}",
+            f"{result.utilization_factor:.3f}",
+            result.wakes,
+            result.migrations,
+        ])
+    print()
+    print(format_table(
+        ["scheme", "energy mJ", "savings", "uf", "wakes", "migrations"],
+        rows, title="Technique comparison"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment used for development lacks the ``wheel`` package,
+so PEP 660 editable installs fail; this shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (or plain
+``python setup.py develop``) work everywhere. All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""Analysis helpers: metrics, sweeps, and table rendering for the benches."""
+
+from repro.analysis.metrics import (
+    energy_savings,
+    breakdown_fractions,
+    utilization_series,
+)
+from repro.analysis.sweep import SweepPoint, sweep_cp_limit, run_pair
+from repro.analysis.tables import format_table, format_series, format_breakdown
+from repro.analysis.charts import bar_chart, line_chart, savings_chart
+from repro.analysis.timeline import activity_share, render_heatmap
+
+__all__ = [
+    "bar_chart",
+    "line_chart",
+    "savings_chart",
+    "render_heatmap",
+    "activity_share",
+    "energy_savings",
+    "breakdown_fractions",
+    "utilization_series",
+    "SweepPoint",
+    "sweep_cp_limit",
+    "run_pair",
+    "format_table",
+    "format_series",
+    "format_breakdown",
+]

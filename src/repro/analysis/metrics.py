@@ -1,0 +1,28 @@
+"""Derived metrics over simulation results."""
+
+from __future__ import annotations
+
+from repro.sim.results import SimulationResult
+
+
+def energy_savings(baseline: SimulationResult,
+                   technique: SimulationResult) -> float:
+    """Fractional energy saved by ``technique`` over ``baseline``.
+
+    This is the Y axis of Figures 5, 8, 9, and 10. Positive means the
+    technique consumed less energy; negative means it cost energy (as the
+    paper reports for PL with 6 groups, where migration overheads win).
+    """
+    if baseline.energy_joules <= 0:
+        return 0.0
+    return 1.0 - technique.energy_joules / baseline.energy_joules
+
+
+def breakdown_fractions(result: SimulationResult) -> dict[str, float]:
+    """The Figure 2(b)/Figure 6 energy-breakdown fractions."""
+    return result.energy.fractions()
+
+
+def utilization_series(results: list[SimulationResult]) -> list[float]:
+    """Utilization factors of a series of runs (Figure 7's Y axis)."""
+    return [r.utilization_factor for r in results]

@@ -1,0 +1,67 @@
+"""Parameter-sweep harness used by the figure benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SimulationConfig
+from repro.sim.results import SimulationResult
+from repro.sim.run import simulate
+from repro.traces.trace import Trace
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a technique-vs-baseline sweep.
+
+    Attributes:
+        x: the sweep variable (CP-Limit, transfer rate, ratio, ...).
+        technique: the technique name.
+        savings: fractional energy savings over the shared baseline.
+        result: the full technique run.
+        baseline: the shared baseline run.
+    """
+
+    x: float
+    technique: str
+    savings: float
+    result: SimulationResult
+    baseline: SimulationResult
+
+
+def run_pair(trace: Trace, config: SimulationConfig | None,
+             technique: str, cp_limit: float | None = None,
+             mu: float | None = None,
+             baseline: SimulationResult | None = None,
+             engine: str = "fluid") -> tuple[SimulationResult, SimulationResult]:
+    """Run ``technique`` and (if not supplied) the baseline on a trace."""
+    if baseline is None:
+        baseline = simulate(trace, config=config, technique="baseline",
+                            engine=engine)
+    result = simulate(trace, config=config, technique=technique,
+                      cp_limit=cp_limit, mu=mu, engine=engine)
+    return result, baseline
+
+
+def sweep_cp_limit(trace: Trace, cp_limits: list[float],
+                   techniques: list[str],
+                   config: SimulationConfig | None = None,
+                   engine: str = "fluid") -> list[SweepPoint]:
+    """The Figure 5/7 sweep: savings and uf as CP-Limit varies.
+
+    The baseline run is shared across all points (it has no performance
+    guarantee, exactly as in the paper: "our techniques' results are
+    always compared to the same baseline result").
+    """
+    baseline = simulate(trace, config=config, technique="baseline",
+                        engine=engine)
+    points: list[SweepPoint] = []
+    for cp in cp_limits:
+        for technique in techniques:
+            result = simulate(trace, config=config, technique=technique,
+                              cp_limit=cp, engine=engine)
+            points.append(SweepPoint(
+                x=cp, technique=technique,
+                savings=1.0 - result.energy_joules / baseline.energy_joules,
+                result=result, baseline=baseline))
+    return points

@@ -1,0 +1,259 @@
+"""Command-line interface.
+
+``python -m repro <command>`` (or the installed ``repro`` script) drives
+the library without writing Python: generate the evaluation traces,
+characterise them, run single simulations, compare techniques, and sweep
+CP-Limits.
+
+Examples::
+
+    repro generate synthetic-st -o st.jsonl --duration-ms 25
+    repro characterize st.jsonl
+    repro simulate st.jsonl --technique dma-ta-pl --cp-limit 0.1
+    repro compare st.jsonl --cp-limit 0.1
+    repro sweep st.jsonl --technique dma-ta-pl --cp-limits 0.02,0.1,0.3
+    repro calibrate st.jsonl --cp-limit 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro import __version__
+from repro.analysis.charts import savings_chart
+from repro.analysis.tables import format_breakdown, format_table
+from repro.config import SimulationConfig
+from repro.core.cp_limit import calibrate_mu
+from repro.errors import ReproError
+from repro.sim.run import ENGINES, TECHNIQUES, simulate
+from repro.traces.io import read_trace, write_trace
+from repro.traces.oltp import oltp_database_trace, oltp_storage_trace
+from repro.traces.stats import characterize, popularity_cdf
+from repro.traces.synthetic import synthetic_database_trace, synthetic_storage_trace
+
+GENERATORS: dict[str, Callable] = {
+    "oltp-st": oltp_storage_trace,
+    "oltp-db": oltp_database_trace,
+    "synthetic-st": synthetic_storage_trace,
+    "synthetic-db": synthetic_database_trace,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DMA-aware memory energy management (HPCA 2006) "
+                    "reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate one of the four evaluation traces")
+    generate.add_argument("kind", choices=sorted(GENERATORS))
+    generate.add_argument("-o", "--output", required=True,
+                          help="output trace file (JSONL)")
+    generate.add_argument("--duration-ms", type=float, default=25.0)
+    generate.add_argument("--seed", type=int, default=1)
+
+    char = commands.add_parser(
+        "characterize", help="print a trace's Table 2-style summary")
+    char.add_argument("trace", help="trace file (JSONL)")
+    char.add_argument("--cdf", action="store_true",
+                      help="also print the Figure 4 popularity CDF")
+
+    sim = commands.add_parser("simulate", help="run one simulation")
+    sim.add_argument("trace")
+    sim.add_argument("--technique", choices=TECHNIQUES, default="baseline")
+    sim.add_argument("--engine", choices=ENGINES, default="fluid")
+    sim.add_argument("--cp-limit", type=float, default=None,
+                     help="client-perceived degradation limit (e.g. 0.1)")
+    sim.add_argument("--mu", type=float, default=None,
+                     help="raw per-request degradation parameter")
+    sim.add_argument("--seed", type=int, default=0,
+                     help="page-layout seed")
+
+    compare = commands.add_parser(
+        "compare", help="baseline vs DMA-TA vs DMA-TA-PL on one trace")
+    compare.add_argument("trace")
+    compare.add_argument("--cp-limit", type=float, default=0.10)
+
+    sweep = commands.add_parser(
+        "sweep", help="savings vs CP-Limit for one technique")
+    sweep.add_argument("trace")
+    sweep.add_argument("--technique", choices=("dma-ta", "dma-ta-pl"),
+                       default="dma-ta-pl")
+    sweep.add_argument("--cp-limits", default="0.02,0.05,0.1,0.2,0.3",
+                       help="comma-separated CP-Limit list")
+
+    calibrate = commands.add_parser(
+        "calibrate", help="show the mu a CP-Limit translates to")
+    calibrate.add_argument("trace")
+    calibrate.add_argument("--cp-limit", type=float, default=0.10)
+
+    report = commands.add_parser(
+        "report", help="run the full technique matrix and print a report")
+    report.add_argument("trace")
+    report.add_argument("--cp-limits", default="0.02,0.05,0.1,0.2,0.3")
+    report.add_argument("-o", "--output", default=None,
+                        help="also write the report to this file")
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Command implementations
+# ---------------------------------------------------------------------------
+
+def _cmd_generate(args) -> int:
+    trace = GENERATORS[args.kind](duration_ms=args.duration_ms,
+                                  seed=args.seed)
+    write_trace(trace, args.output)
+    stats = characterize(trace)
+    print(f"wrote {args.output}: {stats.transfers} transfers over "
+          f"{stats.duration_ms:.1f} ms "
+          f"({stats.transfers_per_ms:.1f}/ms, "
+          f"{stats.proc_accesses_per_ms:.0f} proc accesses/ms)")
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    trace = read_trace(args.trace)
+    stats = characterize(trace)
+    rows = [
+        ["duration", f"{stats.duration_ms:.2f} ms"],
+        ["transfers", stats.transfers],
+        ["transfer rate", f"{stats.transfers_per_ms:.1f}/ms"],
+        ["network rate", f"{stats.net_transfers_per_ms:.1f}/ms"],
+        ["disk rate", f"{stats.disk_transfers_per_ms:.1f}/ms"],
+        ["processor rate", f"{stats.proc_accesses_per_ms:.0f}/ms"],
+        ["proc per transfer", f"{stats.proc_accesses_per_transfer:.0f}"],
+        ["mean transfer", f"{stats.mean_transfer_bytes:.0f} B"],
+        ["pages referenced", stats.pages_referenced],
+        ["top-20% access share",
+         f"{stats.top20_access_fraction * 100:.1f}%"],
+        ["client requests", len(trace.clients)],
+    ]
+    print(format_table(["metric", "value"], rows, title=trace.name))
+    if args.cdf:
+        points = popularity_cdf(trace, points=10)
+        print()
+        print(format_table(
+            ["pages", "accesses"],
+            [[f"{x:.0%}", f"{y:.1%}"] for x, y in points],
+            title="popularity CDF (Figure 4)"))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    trace = read_trace(args.trace)
+    result = simulate(trace, technique=args.technique, engine=args.engine,
+                      cp_limit=args.cp_limit, mu=args.mu, seed=args.seed)
+    print(result.summary())
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    trace = read_trace(args.trace)
+    baseline = simulate(trace, technique="baseline")
+    ta = simulate(trace, technique="dma-ta", cp_limit=args.cp_limit)
+    tapl = simulate(trace, technique="dma-ta-pl", cp_limit=args.cp_limit)
+    print(format_breakdown(
+        [baseline, ta, tapl], labels=["baseline", "DMA-TA", "DMA-TA-PL"],
+        title=f"{trace.name} at CP-Limit {args.cp_limit:.0%}"))
+    rows = []
+    for result, label in ((ta, "DMA-TA"), (tapl, "DMA-TA-PL")):
+        rows.append([
+            label,
+            f"{result.energy_savings_vs(baseline):+.1%}",
+            f"{result.client_degradation_vs(baseline):+.2%}",
+            f"{result.utilization_factor:.3f}",
+        ])
+    print()
+    print(format_table(
+        ["technique", "savings", "client degradation", "uf"], rows))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    try:
+        cp_limits = [float(x) for x in args.cp_limits.split(",") if x]
+    except ValueError as exc:
+        raise ReproError(f"bad --cp-limits list: {exc}") from exc
+    if not cp_limits:
+        raise ReproError("empty --cp-limits list")
+    trace = read_trace(args.trace)
+    baseline = simulate(trace, technique="baseline")
+    points = {}
+    for cp in cp_limits:
+        result = simulate(trace, technique=args.technique, cp_limit=cp)
+        points[cp] = result.energy_savings_vs(baseline)
+    print(savings_chart(points,
+                        title=f"{trace.name}: {args.technique} savings "
+                              f"vs CP-Limit"))
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    trace = read_trace(args.trace)
+    calibration = calibrate_mu(trace, SimulationConfig(), args.cp_limit)
+    rows = [
+        ["CP-Limit", f"{calibration.cp_limit:.0%}"],
+        ["mu", f"{calibration.mu:.3f}"],
+        ["mean client response",
+         f"{calibration.mean_response_cycles / 1.6e6:.3f} ms"],
+        ["requests per client", f"{calibration.requests_per_client:.0f}"],
+        ["clients used", calibration.clients],
+    ]
+    print(format_table(["quantity", "value"], rows,
+                       title=f"CP-Limit calibration for {trace.name}"))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import build_report, render_report
+
+    try:
+        cp_limits = tuple(float(x) for x in args.cp_limits.split(",") if x)
+    except ValueError as exc:
+        raise ReproError(f"bad --cp-limits list: {exc}") from exc
+    trace = read_trace(args.trace)
+    report = build_report(trace, cp_limits=cp_limits)
+    text = render_report(report)
+    print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"\n(report written to {args.output})")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "characterize": _cmd_characterize,
+    "simulate": _cmd_simulate,
+    "compare": _cmd_compare,
+    "sweep": _cmd_sweep,
+    "calibrate": _cmd_calibrate,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,35 @@
+"""The paper's contribution: DMA-aware memory energy management.
+
+* :mod:`repro.core.controller` — the controller interface and the
+  pass-through baseline (requests wake the chip and go straight through;
+  the low-level dynamic policy does all the managing).
+* :mod:`repro.core.slack` — the slack account behind DMA-TA's soft
+  performance guarantee (Section 4.1.2).
+* :mod:`repro.core.temporal_alignment` — DMA-TA itself (Section 4.1).
+* :mod:`repro.core.popularity` / :mod:`repro.core.layout` /
+  :mod:`repro.core.migration` — the PL technique (Section 4.2).
+* :mod:`repro.core.cp_limit` — CP-Limit -> ``mu`` calibration (Section 5.1).
+"""
+
+from repro.core.controller import MemoryController, BaselineController
+from repro.core.slack import SlackAccount
+from repro.core.temporal_alignment import TemporalAlignmentController
+from repro.core.popularity import PopularityTracker
+from repro.core.layout import PopularityGrouper, GroupPlan
+from repro.core.migration import MigrationPlanner, MigrationPlan, PageMove
+from repro.core.cp_limit import CPLimitCalibration, calibrate_mu
+
+__all__ = [
+    "MemoryController",
+    "BaselineController",
+    "SlackAccount",
+    "TemporalAlignmentController",
+    "PopularityTracker",
+    "PopularityGrouper",
+    "GroupPlan",
+    "MigrationPlanner",
+    "MigrationPlan",
+    "PageMove",
+    "CPLimitCalibration",
+    "calibrate_mu",
+]

@@ -1,0 +1,119 @@
+"""CP-Limit -> mu calibration (Section 5.1).
+
+DMA-TA's actual parameter is ``mu``, the allowed degradation of the
+*average DMA-memory request service time*. Users think in terms of the
+*client-perceived* average response-time degradation (CP-Limit), which is
+far more forgiving: a client request's response time includes request
+parsing, wire time, and often a multi-millisecond disk access, so a
+microsecond-scale memory delay is a tiny fraction of it.
+
+The paper transforms CP-Limit into ``mu`` off-line by determining how much
+each DMA-memory request can be slowed to reach the client budget. We do
+the same from the trace itself:
+
+* ``R0`` — the undisturbed mean client response time: the request's
+  non-memory base latency plus the span from client arrival to the
+  nominal completion of its last transfer (no power management, no
+  alignment, full bus share);
+* ``q`` — the mean number of DMA-memory requests serving one client
+  request.
+
+A client budget of ``cp_limit * R0`` cycles spread over ``q`` requests of
+undisturbed service time ``T`` gives ``mu = cp_limit * R0 / (q * T)``.
+Because each transfer is delayed roughly once (its gathered head) while
+``q`` spans all its requests, the resulting guarantee is conservative:
+measured client degradation stays below CP-Limit, as Section 5.2 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SimulationConfig
+from repro.errors import TraceError
+from repro.traces.records import DMATransfer
+from repro.traces.trace import Trace
+
+
+@dataclass(frozen=True)
+class CPLimitCalibration:
+    """Result of transforming a CP-Limit into the DMA-TA ``mu``.
+
+    Attributes:
+        cp_limit: the client-perceived degradation limit (e.g. 0.10).
+        mu: the per-request degradation parameter DMA-TA will enforce.
+        mean_response_cycles: undisturbed mean client response ``R0``.
+        requests_per_client: mean DMA-memory requests per client request.
+        clients: number of client requests used for calibration.
+    """
+
+    cp_limit: float
+    mu: float
+    mean_response_cycles: float
+    requests_per_client: float
+    clients: int
+
+
+def nominal_transfer_cycles(size_bytes: int, config: SimulationConfig) -> float:
+    """Wall-clock cycles of one transfer at full, exclusive bus bandwidth."""
+    bus_bytes_per_cycle = (config.buses.bandwidth_bytes_per_s
+                           / config.frequency_hz)
+    return size_bytes / bus_bytes_per_cycle
+
+
+def calibrate_mu(trace: Trace, config: SimulationConfig,
+                 cp_limit: float) -> CPLimitCalibration:
+    """Compute the ``mu`` that meets ``cp_limit`` for this trace.
+
+    Raises :class:`TraceError` if the trace carries no client requests
+    (there is then no client-perceived time to bound; pass ``mu``
+    directly in that case).
+    """
+    if cp_limit < 0:
+        raise TraceError("cp_limit must be non-negative")
+    if not trace.clients:
+        raise TraceError(
+            f"trace {trace.name!r} has no client requests; "
+            "set alignment.mu directly instead of using a CP-Limit")
+
+    last_completion: dict[int, float] = {}
+    requests_per_client: dict[int, int] = {}
+    for record in trace.records:
+        if not isinstance(record, DMATransfer) or record.request_id is None:
+            continue
+        completion = record.time + nominal_transfer_cycles(
+            record.size_bytes, config)
+        prior = last_completion.get(record.request_id, 0.0)
+        last_completion[record.request_id] = max(prior, completion)
+        requests_per_client[record.request_id] = (
+            requests_per_client.get(record.request_id, 0)
+            + record.num_requests(config.memory.request_bytes))
+
+    total_response = 0.0
+    total_requests = 0
+    counted = 0
+    for request_id, client in trace.clients.items():
+        if request_id not in last_completion:
+            continue  # client with no transfers inside the trace horizon
+        response = (last_completion[request_id] - client.arrival
+                    + client.base_cycles)
+        total_response += max(0.0, response)
+        total_requests += requests_per_client[request_id]
+        counted += 1
+
+    if counted == 0 or total_requests == 0:
+        raise TraceError(
+            f"trace {trace.name!r}: no client request has any transfer; "
+            "cannot calibrate a CP-Limit")
+
+    mean_response = total_response / counted
+    q = total_requests / counted
+    t = config.undisturbed_service_cycles
+    mu = cp_limit * mean_response / (q * t)
+    return CPLimitCalibration(
+        cp_limit=cp_limit,
+        mu=mu,
+        mean_response_cycles=mean_response,
+        requests_per_client=q,
+        clients=counted,
+    )

@@ -1,0 +1,164 @@
+"""Low-level memory power-management policies.
+
+These are the policies of prior work (Lebeck et al., ASPLOS'00) that the
+paper layers its DMA-aware techniques on top of:
+
+* **Static** policies park a chip in one fixed low-power state whenever it
+  is idle and wake it on demand.
+* **Dynamic threshold** policies walk a chip down through
+  standby -> nap -> powerdown as idleness accumulates past per-state
+  thresholds. The break-even thresholds derived from Table 1 land around
+  20-60 cycles for the first two steps, matching the paper's remark that
+  the best active->low-power threshold is "usually around 20-30 memory
+  cycles" — far shorter than a DMA transfer but far longer than the 8-cycle
+  gap between two DMA-memory requests, which is exactly why transfers pin
+  chips in the active state.
+* **Always-on** keeps the chip active forever; it is the reference system
+  used to measure the undisturbed service time ``T`` and to calibrate
+  CP-Limit into the per-request parameter ``mu``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.energy.states import LOW_POWER_STATES, PowerModel, PowerState
+
+#: A policy schedule: sorted (cumulative idle cycles, state to enter) steps.
+Schedule = tuple[tuple[float, PowerState], ...]
+
+
+def break_even_cycles(model: PowerModel, state: PowerState) -> float:
+    """Idle time (cycles) at which an excursion into ``state`` pays off.
+
+    Staying active for ``t`` cycles costs ``P_active * t``. Taking the
+    excursion costs the downward transition, residency at the low-power
+    draw for the remainder, and the wake-up transition afterwards::
+
+        P_active * t = E_down + P_state * (t - t_down) + E_up
+
+    Solving for ``t`` gives the break-even point. For the Table 1 RDRAM
+    numbers this yields roughly 20 cycles (standby), 61 cycles (nap), and
+    485 cycles (powerdown).
+    """
+    if state is PowerState.ACTIVE:
+        return 0.0
+    p_active = model.active_power
+    p_state = model.power(state)
+    if p_active <= p_state:
+        raise ConfigurationError(
+            f"state {state} draws no less power than ACTIVE; no break-even")
+    e_down = model.sleep_energy(state) * model.frequency_hz
+    e_up = model.wake_energy(state) * model.frequency_hz
+    t_down = model.sleep_time_cycles(state)
+    return (e_down + e_up - p_state * t_down) / (p_active - p_state)
+
+
+class PowerPolicy(abc.ABC):
+    """Decides how a chip descends through power states while idle."""
+
+    @abc.abstractmethod
+    def schedule(self, model: PowerModel) -> Schedule:
+        """The descent schedule for ``model``.
+
+        Returns a tuple of ``(idle_cycles, state)`` pairs, sorted by
+        ``idle_cycles``: once the chip has been idle for ``idle_cycles``
+        (measured from the end of its last access), it transitions into
+        ``state``. An empty schedule means the chip never leaves ACTIVE.
+        """
+
+    def first_threshold(self, model: PowerModel) -> float:
+        """Idle cycles before the chip leaves ACTIVE (inf if it never does)."""
+        steps = self.schedule(model)
+        if not steps:
+            return float("inf")
+        return steps[0][0]
+
+
+@dataclass(frozen=True)
+class AlwaysOnPolicy(PowerPolicy):
+    """No power management: the chip stays ACTIVE forever."""
+
+    def schedule(self, model: PowerModel) -> Schedule:
+        return ()
+
+
+@dataclass(frozen=True)
+class StaticPolicy(PowerPolicy):
+    """Drop straight into one fixed low-power state when idle.
+
+    Attributes:
+        state: the parking state.
+        delay_cycles: grace period before parking (0 = immediately after
+            the last access completes, the classical static scheme).
+    """
+
+    state: PowerState
+    delay_cycles: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.state is PowerState.ACTIVE:
+            raise ConfigurationError("static policy needs a low-power state")
+        if self.delay_cycles < 0:
+            raise ConfigurationError("delay_cycles must be non-negative")
+
+    def schedule(self, model: PowerModel) -> Schedule:
+        return ((self.delay_cycles, self.state),)
+
+
+@dataclass(frozen=True)
+class DynamicThresholdPolicy(PowerPolicy):
+    """Step down standby -> nap -> powerdown at cumulative idle thresholds.
+
+    Attributes:
+        thresholds_cycles: mapping from low-power state to the *cumulative*
+            idle time (cycles since the last access) at which the chip
+            enters that state. States may be omitted to skip them.
+    """
+
+    thresholds_cycles: tuple[tuple[PowerState, float], ...]
+
+    def __post_init__(self) -> None:
+        seen: list[float] = []
+        depth = -1
+        for state, cycles in self.thresholds_cycles:
+            if state is PowerState.ACTIVE:
+                raise ConfigurationError("ACTIVE cannot be a threshold target")
+            if cycles < 0:
+                raise ConfigurationError("thresholds must be non-negative")
+            if state.depth <= depth:
+                raise ConfigurationError(
+                    "threshold states must strictly deepen")
+            if seen and cycles < seen[-1]:
+                raise ConfigurationError(
+                    "cumulative thresholds must be non-decreasing")
+            seen.append(cycles)
+            depth = state.depth
+
+    def schedule(self, model: PowerModel) -> Schedule:
+        return tuple((cycles, state) for state, cycles in self.thresholds_cycles)
+
+    @classmethod
+    def from_mapping(cls, thresholds: dict[PowerState, float]) -> "DynamicThresholdPolicy":
+        ordered = sorted(thresholds.items(), key=lambda item: item[0].depth)
+        return cls(thresholds_cycles=tuple(ordered))
+
+
+def default_dynamic_policy(model: PowerModel, scale: float = 1.0) -> DynamicThresholdPolicy:
+    """The baseline dynamic policy with break-even thresholds.
+
+    This is the scheme of Lebeck et al. that the paper uses as its
+    low-level policy: each step's threshold is the break-even idle time for
+    the target state, optionally scaled (``scale`` > 1 is more conservative,
+    < 1 more aggressive). Section 3 notes DMA results are almost insensitive
+    to this setting because transfers dwarf the thresholds.
+    """
+    if scale <= 0:
+        raise ConfigurationError("scale must be positive")
+    thresholds = {
+        state: scale * break_even_cycles(model, state)
+        for state in LOW_POWER_STATES
+    }
+    return DynamicThresholdPolicy.from_mapping(thresholds)

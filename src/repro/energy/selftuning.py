@@ -1,0 +1,90 @@
+"""A self-tuning dynamic policy (the Li et al. scheme the paper tried).
+
+Section 3 notes: "We have also tried other schemes, such as the
+self-tuning dynamic schemes proposed in our previous work [18], but the
+results were similar since the large size of DMA transfers makes memory
+energy consumption almost insensitive to the threshold setting."
+
+This module provides such a scheme so that claim can be checked: a
+:class:`SelfTuningPolicy` starts from the break-even thresholds and
+periodically rescales them from observed behaviour — if wake-ups happen
+too soon after a descent (the chip guessed wrong), thresholds grow; if
+chips linger active-idle without being re-referenced, thresholds shrink.
+Because the policy interface is consulted when a chip *enters* idleness,
+adaptation is epoch-based: the simulator's chips pick up the new
+schedule at their next idle period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.energy.policies import PowerPolicy, Schedule, break_even_cycles
+from repro.energy.states import LOW_POWER_STATES, PowerModel
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class SelfTuningPolicy(PowerPolicy):
+    """Threshold policy that rescales itself from observed outcomes.
+
+    Attributes:
+        scale: current multiplier over the break-even thresholds.
+        min_scale / max_scale: adaptation clamps.
+        grow / shrink: multiplicative adjustment steps.
+        premature_wake_cycles: a wake within this many cycles of the
+            first descent counts as a mis-prediction (the idle period
+            was short; sleeping cost a wake penalty for little gain).
+    """
+
+    scale: float = 1.0
+    min_scale: float = 0.25
+    max_scale: float = 16.0
+    grow: float = 1.5
+    shrink: float = 0.8
+    premature_wake_cycles: float = 200.0
+
+    #: Adaptation counters since the last adjustment.
+    premature_wakes: int = field(default=0, init=False)
+    long_sleeps: int = field(default=0, init=False)
+    adjustments: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.min_scale <= self.scale <= self.max_scale:
+            raise ConfigurationError(
+                "need 0 < min_scale <= scale <= max_scale")
+        if self.grow <= 1.0 or not 0 < self.shrink < 1.0:
+            raise ConfigurationError("grow must be >1 and shrink in (0,1)")
+
+    def schedule(self, model: PowerModel) -> Schedule:
+        return tuple(
+            (self.scale * break_even_cycles(model, state), state)
+            for state in LOW_POWER_STATES
+        )
+
+    # --- feedback --------------------------------------------------------
+
+    def observe_idle_period(self, idle_cycles: float,
+                            model: PowerModel) -> None:
+        """Record the outcome of one completed idle period."""
+        first = break_even_cycles(model, LOW_POWER_STATES[0]) * self.scale
+        if idle_cycles < first + self.premature_wake_cycles:
+            self.premature_wakes += 1
+        elif idle_cycles > 10 * first:
+            self.long_sleeps += 1
+
+    def adapt(self) -> float:
+        """Apply one adaptation step from the gathered counters.
+
+        Returns the new scale. Mis-predictions dominate -> thresholds
+        grow (sleep later); long sleeps dominate -> thresholds shrink
+        (sleep sooner, the idle periods are comfortably long).
+        """
+        if self.premature_wakes > 2 * self.long_sleeps:
+            self.scale = min(self.max_scale, self.scale * self.grow)
+        elif self.long_sleeps > 2 * self.premature_wakes:
+            self.scale = max(self.min_scale, self.scale * self.shrink)
+        self.premature_wakes = 0
+        self.long_sleeps = 0
+        self.adjustments += 1
+        return self.scale

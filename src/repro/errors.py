@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class. The subclasses distinguish
+configuration mistakes (caught before a simulation starts) from runtime
+model violations (bugs or impossible trace input discovered mid-run).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is missing, inconsistent, or out of range."""
+
+
+class TraceError(ReproError):
+    """A trace file or trace record is malformed."""
+
+
+class SimulationError(ReproError):
+    """An internal invariant of the simulation was violated."""
+
+
+class GuaranteeViolationError(SimulationError):
+    """The DMA-TA performance guarantee was violated.
+
+    Raised only when a simulation is run with ``strict_guarantee=True``;
+    otherwise violations are recorded on the result object. The paper's
+    scheme never violates the guarantee, so strict mode is how the test
+    suite asserts that property.
+    """
+
+
+class LayoutError(ReproError):
+    """A page layout operation is invalid (unknown page, full chip, ...)."""

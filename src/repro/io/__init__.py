@@ -1,0 +1,22 @@
+"""I/O-side models: buses, DMA streams, and the devices that drive them.
+
+The bus is the resource whose bandwidth mismatch with the memory device
+creates the paper's energy waste; :class:`~repro.io.bus.FluidBus` shares
+each bus's bandwidth among its in-flight transfers, and
+:class:`~repro.io.dma.FluidStream` is the runtime state of one transfer
+(or processor burst / migration copy) as seen by a chip.
+"""
+
+from repro.io.bus import FluidBus
+from repro.io.dma import FluidStream, StreamKind, allocate_chip_capacity
+from repro.io.devices import Device, BusAssigner, default_topology
+
+__all__ = [
+    "FluidBus",
+    "FluidStream",
+    "StreamKind",
+    "allocate_chip_capacity",
+    "Device",
+    "BusAssigner",
+    "default_topology",
+]

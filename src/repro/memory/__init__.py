@@ -1,0 +1,28 @@
+"""The memory subsystem: chips, layouts, and the aggregate system.
+
+:class:`~repro.memory.chip.FluidChip` is the fluid-engine chip model — a
+power-state machine whose energy accrues in closed form between
+change-points. :mod:`repro.memory.address` provides the static page
+layouts; dynamic popularity-based layout lives in :mod:`repro.core.layout`.
+"""
+
+from repro.memory.address import (
+    PageLayout,
+    SequentialLayout,
+    InterleavedLayout,
+    RandomLayout,
+    MutableLayout,
+)
+from repro.memory.chip import FluidChip, ChipRates
+from repro.memory.system import MemorySystem
+
+__all__ = [
+    "PageLayout",
+    "SequentialLayout",
+    "InterleavedLayout",
+    "RandomLayout",
+    "MutableLayout",
+    "FluidChip",
+    "ChipRates",
+    "MemorySystem",
+]

@@ -1,0 +1,23 @@
+"""Simulation engines and results.
+
+Two engines implement the same semantics at different granularities:
+:class:`~repro.sim.fluid.FluidEngine` advances analytically between
+change-points (fast; the default), while
+:class:`~repro.sim.precise.PreciseEngine` simulates every DMA-memory
+request as an event (slow; the cross-validation reference).
+
+:func:`simulate` is the public entry point.
+"""
+
+from repro.sim.results import SimulationResult
+from repro.sim.run import simulate, TECHNIQUES
+from repro.sim.fluid import FluidEngine
+from repro.sim.precise import PreciseEngine
+
+__all__ = [
+    "SimulationResult",
+    "simulate",
+    "TECHNIQUES",
+    "FluidEngine",
+    "PreciseEngine",
+]

@@ -1,0 +1,73 @@
+"""The public simulation entry point."""
+
+from __future__ import annotations
+
+from repro.config import SimulationConfig
+from repro.core.cp_limit import calibrate_mu
+from repro.errors import ConfigurationError
+from repro.sim.results import SimulationResult
+from repro.traces.trace import Trace
+
+TECHNIQUES = ("nopm", "baseline", "dma-ta", "pl", "dma-ta-pl")
+ENGINES = ("fluid", "precise")
+
+
+def simulate(
+    trace: Trace,
+    config: SimulationConfig | None = None,
+    technique: str = "baseline",
+    engine: str = "fluid",
+    mu: float | None = None,
+    cp_limit: float | None = None,
+    seed: int = 0,
+    record_timeline: bool = False,
+) -> SimulationResult:
+    """Run one simulation of ``trace`` under ``technique``.
+
+    Args:
+        trace: the input trace (see :mod:`repro.traces`).
+        config: platform configuration; the paper's Section 5.1 platform
+            by default.
+        technique: ``nopm`` (no power management), ``baseline`` (dynamic
+            low-level policy only), ``dma-ta``, ``pl``, or ``dma-ta-pl``.
+        engine: ``fluid`` (fast, default) or ``precise`` (per-request).
+        mu: DMA-TA per-request degradation parameter; overrides the
+            configured value.
+        cp_limit: client-perceived response-time degradation limit; when
+            given, ``mu`` is calibrated from the trace (Section 5.1) —
+            mutually exclusive with ``mu``.
+        seed: seed for the baseline random page layout.
+        record_timeline: record per-chip busy intervals on the result
+            (fluid engine only) for
+            :func:`repro.analysis.timeline.render_heatmap`.
+
+    Returns:
+        The :class:`~repro.sim.results.SimulationResult`.
+    """
+    if technique not in TECHNIQUES:
+        raise ConfigurationError(
+            f"unknown technique {technique!r}; expected one of {TECHNIQUES}")
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if mu is not None and cp_limit is not None:
+        raise ConfigurationError("pass either mu or cp_limit, not both")
+
+    config = config or SimulationConfig()
+    if cp_limit is not None:
+        calibration = calibrate_mu(trace, config, cp_limit)
+        config = config.with_mu(calibration.mu)
+    elif mu is not None:
+        config = config.with_mu(mu)
+
+    if engine == "fluid":
+        from repro.sim.fluid import FluidEngine
+
+        return FluidEngine(trace, config, technique=technique, seed=seed,
+                           record_timeline=record_timeline).run()
+    if record_timeline:
+        raise ConfigurationError(
+            "record_timeline is only supported by the fluid engine")
+    from repro.sim.precise import PreciseEngine
+
+    return PreciseEngine(trace, config, technique=technique, seed=seed).run()

@@ -1,0 +1,27 @@
+"""Data-server substrate: disks, buffer cache, and the server models.
+
+These components replace the pieces of the paper's testbed we do not
+have: DiskSim is substituted by a mechanical disk model with per-disk
+FIFO queues (:mod:`repro.storage.disk`, :mod:`repro.storage.raid`), and
+the production IBM storage/database servers are substituted by request-
+path models (:mod:`repro.storage.server`, :mod:`repro.storage.database`)
+that emit the same kinds of memory traces the paper collected (Figure 1's
+access path, Table 2's contents).
+"""
+
+from repro.storage.disk import Disk, DiskParameters
+from repro.storage.raid import StripedArray
+from repro.storage.cache import BufferCache
+from repro.storage.server import StorageServer, StorageWorkloadParams
+from repro.storage.database import DatabaseServer, DatabaseWorkloadParams
+
+__all__ = [
+    "Disk",
+    "DiskParameters",
+    "StripedArray",
+    "BufferCache",
+    "StorageServer",
+    "StorageWorkloadParams",
+    "DatabaseServer",
+    "DatabaseWorkloadParams",
+]

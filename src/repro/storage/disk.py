@@ -1,0 +1,109 @@
+"""A mechanical disk model (the DiskSim substitute).
+
+Models the latency components that matter for when a disk DMA can begin:
+head positioning (seek distance-dependent), rotational delay, media
+transfer, a small on-disk cache, and FIFO queueing at the disk. The
+absolute numbers follow a 15k-RPM enterprise drive of the paper's era
+(e.g. Seagate Cheetah 15K.3): what the simulation needs from this model
+is a realistic multi-millisecond, load-sensitive latency distribution.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DiskParameters:
+    """Mechanical characteristics of one drive.
+
+    Attributes:
+        capacity_blocks: addressable blocks (8-KB blocks here).
+        rpm: spindle speed.
+        min_seek_ms / max_seek_ms: single-track and full-stroke seeks.
+        transfer_mb_per_s: sustained media rate.
+        cache_hit_probability: chance a read hits the on-disk cache
+            (sequential readahead and segment reuse folded into one knob).
+        cache_hit_ms: service time for an on-disk cache hit.
+    """
+
+    capacity_blocks: int = 1 << 21
+    rpm: float = 15_000.0
+    min_seek_ms: float = 0.2
+    max_seek_ms: float = 7.0
+    transfer_mb_per_s: float = 60.0
+    cache_hit_probability: float = 0.1
+    cache_hit_ms: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.capacity_blocks <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if self.rpm <= 0 or self.transfer_mb_per_s <= 0:
+            raise ConfigurationError("rates must be positive")
+        if not 0 <= self.cache_hit_probability <= 1:
+            raise ConfigurationError("cache_hit_probability must be in [0,1]")
+        if self.min_seek_ms < 0 or self.max_seek_ms < self.min_seek_ms:
+            raise ConfigurationError("seek times must satisfy 0 <= min <= max")
+
+    @property
+    def full_rotation_ms(self) -> float:
+        return 60_000.0 / self.rpm
+
+    def seek_ms(self, from_block: int, to_block: int) -> float:
+        """Seek time for a head move between two block addresses.
+
+        Uses the classical square-root seek curve: short seeks are
+        dominated by head settling, long seeks by the coast phase.
+        """
+        distance = abs(to_block - from_block) / max(1, self.capacity_blocks)
+        if distance == 0:
+            return 0.0
+        return self.min_seek_ms + (
+            self.max_seek_ms - self.min_seek_ms) * math.sqrt(distance)
+
+    def transfer_ms(self, size_bytes: int) -> float:
+        return size_bytes / (self.transfer_mb_per_s * 1e6) * 1e3
+
+
+class Disk:
+    """One drive with a FIFO queue and a head-position state."""
+
+    def __init__(self, disk_id: int, params: DiskParameters | None = None,
+                 seed: int = 0) -> None:
+        self.disk_id = disk_id
+        self.params = params or DiskParameters()
+        self._rng = random.Random((seed << 8) ^ disk_id)
+        self._head_block = 0
+        self._free_at_ms = 0.0
+        self.requests_served = 0
+        self.busy_ms = 0.0
+
+    def service_ms(self, block: int, size_bytes: int) -> float:
+        """Raw service time (no queueing) for a request at ``block``."""
+        params = self.params
+        if self._rng.random() < params.cache_hit_probability:
+            return params.cache_hit_ms + params.transfer_ms(size_bytes)
+        seek = params.seek_ms(self._head_block, block)
+        rotation = self._rng.uniform(0.0, params.full_rotation_ms)
+        return seek + rotation + params.transfer_ms(size_bytes)
+
+    def submit(self, now_ms: float, block: int, size_bytes: int) -> float:
+        """Queue a request; returns its completion time in milliseconds."""
+        start = max(now_ms, self._free_at_ms)
+        service = self.service_ms(block, size_bytes)
+        completion = start + service
+        self._free_at_ms = completion
+        self._head_block = block
+        self.requests_served += 1
+        self.busy_ms += service
+        return completion
+
+    def utilization(self, horizon_ms: float) -> float:
+        """Fraction of the horizon the disk spent servicing requests."""
+        if horizon_ms <= 0:
+            return 0.0
+        return min(1.0, self.busy_ms / horizon_ms)

@@ -1,0 +1,326 @@
+"""The storage-server request-path model (Figure 1).
+
+Replays a client request stream through the buffer cache and the disk
+array and emits the memory trace the paper's OLTP-St trace recorded: the
+network and disk DMA transfers against buffer-cache pages (storage-server
+processors touch only metadata, so no processor records are produced).
+
+Read path: parse -> cache lookup -> (hit) network DMA out of memory, or
+(miss) disk read -> disk DMA into memory -> network DMA out. Write path:
+network DMA into memory, write-back disk DMA when the dirty page is
+evicted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.storage.cache import BufferCache
+from repro.storage.disk import DiskParameters
+from repro.storage.raid import StripedArray
+from repro.traces.distributions import ZipfSampler, poisson_times, rank_permutation
+from repro.traces.records import (
+    ClientRequest,
+    DMATransfer,
+    SOURCE_DISK,
+    SOURCE_NETWORK,
+)
+from repro.traces.trace import Trace
+
+
+@dataclass(frozen=True)
+class StorageWorkloadParams:
+    """Workload knobs of the storage-server generator.
+
+    Defaults are calibrated so the emitted trace matches the published
+    OLTP-St characterisation: ~45 network and ~16.7 disk transfers per
+    millisecond, and a popularity CDF where ~20% of the pages receive
+    ~60% of the DMA accesses (Figure 4).
+
+    Attributes:
+        duration_ms: trace length in milliseconds.
+        client_rate_per_ms: Poisson client-request arrival rate.
+        write_fraction: fraction of client requests that are writes.
+        num_pages: working-set size in pages.
+        cache_pages: buffer-cache capacity in pages.
+        zipf_alpha: page-popularity skew.
+        block_bytes: transfer size (one 8-KB block per request).
+        num_disks: disks in the striped array. A storage server fielding
+            ~17k disk IOPS needs on the order of 64 spindles; smaller
+            arrays saturate and the miss path's latency explodes.
+        warmup_requests: client requests replayed through the buffer
+            cache before recording starts, so the trace reflects the
+            steady-state hit ratio instead of the cold-start miss storm.
+        rehit_probability: probability a request re-targets one of the
+            ``rehit_window`` most recently touched pages instead of a
+            fresh Zipf draw. OLTP storage traffic is temporally bursty —
+            hot rows, index roots, and log blocks are re-read in close
+            succession — and this recency process reproduces that
+            burstiness on top of the stationary Zipf skew.
+        rehit_window: size of the recency pool for re-hits.
+        checkpoint_interval_ms: period of the dirty-page destaging sweep.
+            A write-back storage server flushes dirty buffer-cache pages
+            to disk in periodic checkpoint bursts; each flushed page is a
+            disk DMA reading memory out. 0 disables checkpoints (dirty
+            pages then reach disk only on eviction).
+        checkpoint_spacing_us: pacing between the flush DMAs inside one
+            checkpoint burst (destaging is throttled so it does not
+            starve foreground traffic).
+        parse_us / wire_us: request parsing and SAN wire overheads,
+            folded into the client response baseline.
+        frequency_hz: memory clock used for the cycle time base.
+
+    The defaults are calibrated against the published OLTP-St
+    characterisation: ~45 network and ~17 disk transfers/ms, and a
+    popularity CDF whose top-20% share is ~60% (Figure 4).
+    """
+
+    duration_ms: float = 50.0
+    client_rate_per_ms: float = 45.0
+    write_fraction: float = 0.15
+    num_pages: int = 16384
+    cache_pages: int = 1536
+    zipf_alpha: float = 0.95
+    block_bytes: int = 8192
+    num_disks: int = 64
+    warmup_requests: int = 30000
+    rehit_probability: float = 0.4
+    rehit_window: int = 8
+    checkpoint_interval_ms: float = 4.0
+    checkpoint_spacing_us: float = 40.0
+    parse_us: float = 3.0
+    wire_us: float = 40.0
+    frequency_hz: float = units.RDRAM_FREQUENCY_HZ
+
+    def __post_init__(self) -> None:
+        if self.duration_ms <= 0 or self.client_rate_per_ms < 0:
+            raise ConfigurationError("duration and rate must be positive")
+        if not 0 <= self.write_fraction <= 1:
+            raise ConfigurationError("write_fraction must be in [0, 1]")
+        if self.cache_pages <= 0 or self.num_pages <= 0:
+            raise ConfigurationError("page counts must be positive")
+        if self.block_bytes <= 0:
+            raise ConfigurationError("block_bytes must be positive")
+        if not 0 <= self.rehit_probability < 1:
+            raise ConfigurationError("rehit_probability must be in [0, 1)")
+        if self.rehit_window <= 0:
+            raise ConfigurationError("rehit_window must be positive")
+        if self.checkpoint_interval_ms < 0:
+            raise ConfigurationError("checkpoint interval must be >= 0")
+        if self.checkpoint_spacing_us <= 0:
+            raise ConfigurationError("checkpoint spacing must be positive")
+
+
+class StorageServer:
+    """Generates OLTP-St-style traces through the full request path."""
+
+    def __init__(self, params: StorageWorkloadParams | None = None,
+                 seed: int = 1) -> None:
+        self.params = params or StorageWorkloadParams()
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self.cache = BufferCache(self.params.cache_pages)
+        self.array = StripedArray(
+            num_disks=self.params.num_disks,
+            params=DiskParameters(),
+            seed=seed,
+        )
+
+    def generate(self, name: str = "OLTP-St") -> Trace:
+        """Run the request path and return the emitted memory trace."""
+        p = self.params
+        freq = p.frequency_hz
+        cycles_per_ms = freq / 1e3
+        duration = p.duration_ms * cycles_per_ms
+        parse = p.parse_us * freq / 1e6
+        wire = p.wire_us * freq / 1e6
+
+        arrivals = poisson_times(
+            p.client_rate_per_ms / cycles_per_ms, duration, self._rng)
+        sampler = ZipfSampler(p.num_pages, p.zipf_alpha, self._rng)
+        permutation = rank_permutation(p.num_pages, self._rng)
+        self._warm_up(sampler, permutation)
+        pages = self._sample_pages(sampler, permutation, len(arrivals))
+        is_write = self._rng.random(len(arrivals)) < p.write_fraction
+
+        records: list[DMATransfer] = []
+        clients: dict[int, ClientRequest] = {}
+        net_dmas = disk_dmas = 0
+
+        if p.checkpoint_interval_ms > 0:
+            step = p.checkpoint_interval_ms * cycles_per_ms
+            checkpoints = [step * (i + 1)
+                           for i in range(int(duration / step))]
+        else:
+            checkpoints = []
+        next_checkpoint = 0
+
+        for request_id, (arrival, page, write) in enumerate(
+                zip(arrivals, pages, is_write)):
+            while (next_checkpoint < len(checkpoints)
+                   and checkpoints[next_checkpoint] <= arrival):
+                disk_dmas += self._checkpoint(
+                    checkpoints[next_checkpoint], records)
+                next_checkpoint += 1
+            arrival = float(arrival)
+            page = int(page)
+            clients[request_id] = ClientRequest(
+                request_id=request_id, arrival=arrival,
+                base_cycles=parse + wire)
+            ready = arrival + parse
+
+            if write:
+                # Network DMA writes the new block into the buffer cache.
+                records.append(DMATransfer(
+                    time=ready, page=page, size_bytes=p.block_bytes,
+                    source=SOURCE_NETWORK, is_write=True,
+                    request_id=request_id))
+                net_dmas += 1
+                self.cache.lookup(page)  # metadata check (counts stats)
+                evicted = self.cache.insert(page, dirty=True)
+                disk_dmas += self._write_back(evicted, ready, records)
+                continue
+
+            if self.cache.lookup(page):
+                # Hit: data flows straight out of memory.
+                records.append(DMATransfer(
+                    time=ready, page=page, size_bytes=p.block_bytes,
+                    source=SOURCE_NETWORK, is_write=False,
+                    request_id=request_id))
+                net_dmas += 1
+                continue
+
+            # Miss: disk read -> disk DMA into memory -> network DMA out.
+            ready_ms = ready / cycles_per_ms
+            completion_ms = self.array.submit(ready_ms, page, p.block_bytes)
+            disk_time = completion_ms * cycles_per_ms
+            records.append(DMATransfer(
+                time=disk_time, page=page, size_bytes=p.block_bytes,
+                source=SOURCE_DISK, is_write=True, request_id=request_id))
+            disk_dmas += 1
+            net_time = disk_time + parse
+            records.append(DMATransfer(
+                time=net_time, page=page, size_bytes=p.block_bytes,
+                source=SOURCE_NETWORK, is_write=False,
+                request_id=request_id))
+            net_dmas += 1
+            evicted = self.cache.insert(page, dirty=False)
+            disk_dmas += self._write_back(evicted, net_time, records)
+
+        for checkpoint in checkpoints[next_checkpoint:]:
+            disk_dmas += self._checkpoint(checkpoint, records)
+
+        # Clip the tail: a miss near the horizon completes after it, and
+        # keeping those records would dilute the trace's nominal rates.
+        records = [r for r in records if r.time < duration]
+        trace = Trace(
+            name=name,
+            records=list(records),
+            clients=clients,
+            duration_cycles=duration,
+            metadata={
+                "generator": "StorageServer",
+                "seed": self.seed,
+                "duration_ms": p.duration_ms,
+                "client_rate_per_ms": p.client_rate_per_ms,
+                "write_fraction": p.write_fraction,
+                "num_pages": p.num_pages,
+                "cache_pages": p.cache_pages,
+                "zipf_alpha": p.zipf_alpha,
+                "cache_hit_ratio": self.cache.hit_ratio,
+                "net_dmas": net_dmas,
+                "disk_dmas": disk_dmas,
+                "net_rate_per_ms": net_dmas / p.duration_ms,
+                "disk_rate_per_ms": disk_dmas / p.duration_ms,
+            },
+        )
+        return trace
+
+    def _sample_pages(self, sampler, permutation, count: int) -> list[int]:
+        """Zipf draws overlaid with a recency re-hit process.
+
+        With probability ``rehit_probability`` a request targets one of
+        the most recently touched pages (temporal burstiness of OLTP
+        traffic); otherwise it is a fresh Zipf draw.
+        """
+        p = self.params
+        fresh = permutation[sampler.sample(count)]
+        rehits = self._rng.random(count) < p.rehit_probability
+        picks = self._rng.integers(0, p.rehit_window, size=count)
+        recent: list[int] = []
+        pages: list[int] = []
+        for i in range(count):
+            if rehits[i] and recent:
+                page = recent[picks[i] % len(recent)]
+            else:
+                page = int(fresh[i])
+            pages.append(page)
+            recent.append(page)
+            if len(recent) > p.rehit_window:
+                recent.pop(0)
+        return pages
+
+    def _warm_up(self, sampler, permutation) -> None:
+        """Replay requests through the cache until it reaches steady state.
+
+        Only the cache's recency state is warmed; no records are emitted
+        and the hit/miss statistics are reset afterwards so the trace
+        metadata reflects the recorded portion alone.
+        """
+        p = self.params
+        if p.warmup_requests <= 0:
+            return
+        pages = permutation[sampler.sample(p.warmup_requests)]
+        writes = self._rng.random(p.warmup_requests) < p.write_fraction
+        for page, write in zip(pages, writes):
+            page = int(page)
+            if not self.cache.lookup(page):
+                self.cache.insert(page, dirty=bool(write))
+            elif write:
+                self.cache.mark_dirty(page)
+        # The recorded portion starts just after a checkpoint: dirty
+        # state from the warm-up would otherwise show up as a one-time
+        # destaging burst that distorts the trace's disk-DMA rate.
+        for page in self.cache.dirty_pages():
+            self.cache.mark_clean(page)
+        self.cache.hits = 0
+        self.cache.misses = 0
+
+    def _checkpoint(self, now: float, records: list[DMATransfer]) -> int:
+        """Destage every dirty page in one paced checkpoint burst.
+
+        Each flush reads the page out of memory via a disk DMA; the burst
+        pacing models the destager's throttling. Returns the number of
+        disk DMAs emitted.
+        """
+        p = self.params
+        spacing = p.checkpoint_spacing_us * p.frequency_hz / 1e6
+        flushed = 0
+        for index, page in enumerate(self.cache.dirty_pages()):
+            records.append(DMATransfer(
+                time=now + index * spacing, page=page,
+                size_bytes=p.block_bytes, source=SOURCE_DISK,
+                is_write=False, request_id=None))
+            self.cache.mark_clean(page)
+            flushed += 1
+        return flushed
+
+    def _write_back(self, evicted: tuple[int, bool] | None, now: float,
+                    records: list[DMATransfer]) -> int:
+        """Emit the write-back disk DMA for a dirty eviction, if any."""
+        if evicted is None:
+            return 0
+        page, dirty = evicted
+        if not dirty:
+            return 0
+        # The destaging DMA reads the page out of memory shortly after
+        # eviction; it belongs to no client request.
+        records.append(DMATransfer(
+            time=now + 1.0, page=page,
+            size_bytes=self.params.block_bytes,
+            source=SOURCE_DISK, is_write=False, request_id=None))
+        return 1

@@ -1,0 +1,72 @@
+"""Sampling utilities shared by the trace generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class ZipfSampler:
+    """Samples item ranks from a (generalised) Zipf distribution.
+
+    ``P(rank i) ~ 1 / (i + 1)^alpha`` for ranks ``0 .. n-1`` (rank 0 is
+    the most popular item). ``alpha = 1`` matches the paper's synthetic
+    traces; smaller values flatten the curve (the OLTP-St generator uses
+    ~0.7 to match Figure 4's "20% of pages get 60% of accesses").
+    """
+
+    def __init__(self, num_items: int, alpha: float,
+                 rng: np.random.Generator) -> None:
+        if num_items <= 0:
+            raise ConfigurationError("num_items must be positive")
+        if alpha < 0:
+            raise ConfigurationError("alpha must be non-negative")
+        self.num_items = num_items
+        self.alpha = alpha
+        self._rng = rng
+        weights = 1.0 / np.power(np.arange(1, num_items + 1, dtype=float), alpha)
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+
+    def sample(self, count: int) -> np.ndarray:
+        """``count`` ranks, 0-based, most popular first."""
+        if count <= 0:
+            return np.empty(0, dtype=np.int64)
+        uniforms = self._rng.random(count)
+        return np.searchsorted(self._cdf, uniforms, side="left").astype(np.int64)
+
+    def access_fraction_of_top(self, fraction_of_items: float) -> float:
+        """Analytic CDF: fraction of accesses to the top items.
+
+        ``access_fraction_of_top(0.2)`` is Figure 4's "x% of pages receive
+        y% of accesses" read off at x = 20.
+        """
+        if not 0 < fraction_of_items <= 1:
+            raise ConfigurationError("fraction must be in (0, 1]")
+        top = max(1, int(round(fraction_of_items * self.num_items)))
+        return float(self._cdf[top - 1])
+
+
+def poisson_times(rate_per_cycle: float, duration_cycles: float,
+                  rng: np.random.Generator) -> np.ndarray:
+    """Sorted event times of a Poisson process over ``[0, duration)``."""
+    if rate_per_cycle < 0 or duration_cycles < 0:
+        raise ConfigurationError("rate and duration must be non-negative")
+    expected = rate_per_cycle * duration_cycles
+    count = int(rng.poisson(expected)) if expected > 0 else 0
+    times = rng.random(count) * duration_cycles
+    times.sort()
+    return times
+
+
+def rank_permutation(num_items: int, rng: np.random.Generator) -> np.ndarray:
+    """A random rank -> page-id mapping.
+
+    Trace pages are identified by arbitrary ids, so popularity rank must
+    not correlate with page id — otherwise a sequential layout would
+    accidentally cluster hot pages and hide the benefit PL provides.
+    """
+    permutation = np.arange(num_items, dtype=np.int64)
+    rng.shuffle(permutation)
+    return permutation

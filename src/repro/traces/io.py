@@ -1,0 +1,141 @@
+"""Trace serialisation: a line-oriented JSON format.
+
+Each line is one JSON object. The first line is a header carrying the
+trace name, duration, and metadata; subsequent lines are records tagged
+with a ``kind`` field (``dma``, ``proc``, or ``client``). The format
+round-trips exactly through :func:`write_trace` / :func:`read_trace`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TextIO
+
+from repro.errors import TraceError
+from repro.traces.records import ClientRequest, DMATransfer, ProcessorBurst
+from repro.traces.trace import Trace
+
+_FORMAT_VERSION = 1
+
+
+def _record_to_obj(record: DMATransfer | ProcessorBurst) -> dict:
+    if isinstance(record, DMATransfer):
+        return {
+            "kind": "dma",
+            "time": record.time,
+            "page": record.page,
+            "size": record.size_bytes,
+            "source": record.source,
+            "write": record.is_write,
+            "bus": record.bus,
+            "req": record.request_id,
+        }
+    return {
+        "kind": "proc",
+        "time": record.time,
+        "page": record.page,
+        "count": record.count,
+        "window": record.window_cycles,
+        "write": record.is_write,
+    }
+
+
+def _obj_to_record(obj: dict) -> DMATransfer | ProcessorBurst:
+    kind = obj.get("kind")
+    if kind == "dma":
+        return DMATransfer(
+            time=obj["time"],
+            page=obj["page"],
+            size_bytes=obj["size"],
+            source=obj.get("source", "network"),
+            is_write=obj.get("write", False),
+            bus=obj.get("bus"),
+            request_id=obj.get("req"),
+        )
+    if kind == "proc":
+        return ProcessorBurst(
+            time=obj["time"],
+            page=obj["page"],
+            count=obj.get("count", 1),
+            window_cycles=obj.get("window", 0.0),
+            is_write=obj.get("write", False),
+        )
+    raise TraceError(f"unknown record kind {kind!r}")
+
+
+def write_trace(trace: Trace, path: str | Path) -> None:
+    """Write ``trace`` to ``path`` in the JSONL trace format."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        _write_stream(trace, handle)
+
+
+def _write_stream(trace: Trace, handle: TextIO) -> None:
+    header = {
+        "kind": "header",
+        "version": _FORMAT_VERSION,
+        "name": trace.name,
+        "duration": trace.duration_cycles,
+        "metadata": trace.metadata,
+    }
+    handle.write(json.dumps(header) + "\n")
+    for client in sorted(trace.clients.values(), key=lambda c: c.arrival):
+        handle.write(json.dumps({
+            "kind": "client",
+            "id": client.request_id,
+            "arrival": client.arrival,
+            "base": client.base_cycles,
+        }) + "\n")
+    for record in trace.records:
+        handle.write(json.dumps(_record_to_obj(record)) + "\n")
+
+
+def read_trace(path: str | Path) -> Trace:
+    """Read a trace previously written by :func:`write_trace`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        return _read_stream(handle)
+
+
+def _read_stream(handle: TextIO) -> Trace:
+    header_line = handle.readline()
+    if not header_line:
+        raise TraceError("empty trace file")
+    try:
+        header = json.loads(header_line)
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"malformed trace header: {exc}") from exc
+    if header.get("kind") != "header":
+        raise TraceError("trace file does not start with a header line")
+    if header.get("version") != _FORMAT_VERSION:
+        raise TraceError(
+            f"unsupported trace format version {header.get('version')}")
+
+    records: list[DMATransfer | ProcessorBurst] = []
+    clients: dict[int, ClientRequest] = {}
+    for line_number, line in enumerate(handle, start=2):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"malformed record on line {line_number}: {exc}") from exc
+        if obj.get("kind") == "client":
+            client = ClientRequest(
+                request_id=obj["id"],
+                arrival=obj["arrival"],
+                base_cycles=obj.get("base", 0.0),
+            )
+            clients[client.request_id] = client
+        else:
+            records.append(_obj_to_record(obj))
+
+    return Trace(
+        name=header.get("name", "trace"),
+        records=records,
+        clients=clients,
+        duration_cycles=header.get("duration", 0.0),
+        metadata=header.get("metadata", {}),
+    )

@@ -1,0 +1,116 @@
+"""Trace record types.
+
+Records reference *logical* pages; the simulator's page layout (static or
+popularity-based) decides which physical chip a page lives on. Times are in
+memory cycles from the start of the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TraceError
+
+#: DMA source tags used by the generators and the stats module.
+SOURCE_NETWORK = "network"
+SOURCE_DISK = "disk"
+
+_VALID_SOURCES = frozenset({SOURCE_NETWORK, SOURCE_DISK})
+
+
+@dataclass(frozen=True, slots=True)
+class DMATransfer:
+    """One DMA transfer (Section 2.1): a large block moved to/from memory.
+
+    Attributes:
+        time: cycle at which the DMA engine initiates the transfer.
+        page: logical page the transfer targets (page-aligned transfers).
+        size_bytes: transfer size (8 KB block or 512 B sector typically).
+        source: ``"network"`` or ``"disk"`` — which device performs it.
+        is_write: True if the DMA writes into memory (e.g. a disk read
+            filling the buffer cache), False if it reads memory out.
+        bus: I/O bus index carrying the transfer, or None to let the
+            simulator assign one (round-robin by device).
+        request_id: client request this transfer belongs to, or None for
+            background traffic.
+    """
+
+    time: float
+    page: int
+    size_bytes: int
+    source: str = SOURCE_NETWORK
+    is_write: bool = False
+    bus: int | None = None
+    request_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise TraceError(f"negative record time {self.time}")
+        if self.page < 0:
+            raise TraceError(f"negative page id {self.page}")
+        if self.size_bytes <= 0:
+            raise TraceError(f"non-positive transfer size {self.size_bytes}")
+        if self.source not in _VALID_SOURCES:
+            raise TraceError(f"unknown DMA source {self.source!r}")
+        if self.bus is not None and self.bus < 0:
+            raise TraceError(f"negative bus index {self.bus}")
+
+    def num_requests(self, request_bytes: int) -> int:
+        """DMA-memory requests this transfer decomposes into."""
+        return max(1, -(-self.size_bytes // request_bytes))
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessorBurst:
+    """A burst of processor cache-line accesses to one page.
+
+    Database workloads interleave many small processor accesses with each
+    DMA transfer (233 per transfer in OLTP-Db). Traces record them as
+    bursts — ``count`` accesses spread uniformly over ``window_cycles`` —
+    which the fluid engine consumes directly and the precise engine
+    expands into individual accesses.
+    """
+
+    time: float
+    page: int
+    count: int = 1
+    window_cycles: float = 0.0
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise TraceError(f"negative record time {self.time}")
+        if self.page < 0:
+            raise TraceError(f"negative page id {self.page}")
+        if self.count <= 0:
+            raise TraceError(f"non-positive access count {self.count}")
+        if self.window_cycles < 0:
+            raise TraceError("negative burst window")
+
+
+@dataclass(frozen=True, slots=True)
+class ClientRequest:
+    """A client-visible request, used for CP-Limit evaluation.
+
+    Attributes:
+        request_id: id referenced by the transfers that serve the request.
+        arrival: cycle the request reached the server.
+        base_cycles: response-time contribution outside the memory system
+            (disk positioning, wire time, request parsing); added to the
+            completion of the request's last transfer to produce the
+            client-perceived response time.
+    """
+
+    request_id: int
+    arrival: float
+    base_cycles: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise TraceError("negative client arrival")
+        if self.base_cycles < 0:
+            raise TraceError("negative base response time")
+
+
+#: Union type of the timed records a trace may contain.
+TraceRecord = DMATransfer | ProcessorBurst

@@ -1,0 +1,83 @@
+"""The paper's qualitative energy-breakdown claims (Figures 2b, 6, 7)."""
+
+import pytest
+
+from repro import simulate
+from repro.traces.oltp import oltp_storage_trace
+from repro.traces.synthetic import synthetic_database_trace, synthetic_storage_trace
+
+
+@pytest.fixture(scope="module")
+def storage_result():
+    trace = synthetic_storage_trace(duration_ms=10.0, seed=2)
+    return simulate(trace, technique="baseline")
+
+
+class TestFigure2b:
+    """Baseline breakdown: active-idle-DMA dominates and is ~2x serving."""
+
+    def test_idle_dma_dominates(self, storage_result):
+        fractions = storage_result.energy.fractions()
+        assert fractions["idle_dma"] == max(fractions.values())
+
+    def test_idle_dma_about_twice_serving(self, storage_result):
+        """Direct consequence of the 3:1 bandwidth ratio (Figure 2a)."""
+        e = storage_result.energy
+        assert e.idle_dma / e.serving_dma == pytest.approx(2.0, rel=0.15)
+
+    def test_idle_dma_share_in_paper_band(self, storage_result):
+        """The paper reports 48-51% active-idle-DMA."""
+        share = storage_result.energy.fractions()["idle_dma"]
+        assert 0.40 <= share <= 0.55
+
+    def test_threshold_waste_small(self, storage_result):
+        """The paper reports only 3-4% idle-threshold waste; DMA traffic
+        makes threshold effects second order."""
+        share = storage_result.energy.fractions()["idle_threshold"]
+        assert share < 0.05
+
+    def test_baseline_uf_one_third(self, storage_result):
+        """Section 5.3: 'without our DMA-aware techniques, the utilization
+        factors are only around 0.33'."""
+        assert storage_result.utilization_factor == pytest.approx(
+            1 / 3, abs=0.04)
+
+
+class TestFigure7:
+    def test_uf_grows_with_cp_limit(self):
+        trace = synthetic_storage_trace(duration_ms=10.0, seed=2)
+        base = simulate(trace, technique="baseline")
+        ufs = [base.utilization_factor]
+        for cp in (0.10, 0.30):
+            ufs.append(simulate(trace, technique="dma-ta-pl",
+                                cp_limit=cp).utilization_factor)
+        assert ufs[0] < ufs[1] <= ufs[2] + 0.02
+        assert all(u <= 1.0 for u in ufs)
+
+
+class TestDatabaseVsStorage:
+    def test_db_baseline_uf_higher(self):
+        """Processor accesses soak active-idle cycles (Section 5.2)."""
+        st = simulate(synthetic_storage_trace(duration_ms=5.0, seed=2),
+                      technique="baseline")
+        db = simulate(synthetic_database_trace(duration_ms=5.0, seed=2),
+                      technique="baseline")
+        assert db.utilization_factor > st.utilization_factor
+
+    def test_db_savings_lower_than_storage(self):
+        st_trace = synthetic_storage_trace(duration_ms=10.0, seed=2)
+        db_trace = synthetic_database_trace(duration_ms=10.0, seed=2)
+        st_base = simulate(st_trace, technique="baseline")
+        db_base = simulate(db_trace, technique="baseline")
+        st = simulate(st_trace, technique="dma-ta-pl", cp_limit=0.10)
+        db = simulate(db_trace, technique="dma-ta-pl", cp_limit=0.10)
+        assert st.energy_savings_vs(st_base) > db.energy_savings_vs(db_base)
+
+
+class TestOLTPStorage:
+    def test_oltp_st_baseline_shape(self):
+        trace = oltp_storage_trace(duration_ms=10.0)
+        result = simulate(trace, technique="baseline")
+        fractions = result.energy.fractions()
+        assert fractions["idle_dma"] > fractions["serving_dma"]
+        assert result.utilization_factor == pytest.approx(1 / 3, abs=0.08)

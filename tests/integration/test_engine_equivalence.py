@@ -1,0 +1,75 @@
+"""Cross-validation: the fluid engine against the per-request reference.
+
+The fluid engine's closed-form accrual must agree with the per-request
+precise engine on every energy bucket (within a small tolerance — the
+fluid model smears request-granularity effects). This is the central
+argument for trusting the fast engine's results.
+"""
+
+import pytest
+
+from repro import simulate
+from repro.traces.synthetic import synthetic_database_trace, synthetic_storage_trace
+
+#: Relative tolerance on per-bucket energies. The fluid model is exact
+#: for periodic streams; residual differences come from partial overlap
+#: at stream boundaries.
+TOLERANCE = 0.05
+
+
+def compare(trace, config, technique, mu=None):
+    fluid = simulate(trace, config=config, technique=technique, mu=mu)
+    precise = simulate(trace, config=config, technique=technique, mu=mu,
+                       engine="precise")
+    return fluid, precise
+
+
+def assert_buckets_close(fluid, precise, skip=("idle_threshold",)):
+    for bucket, value in fluid.energy.as_dict().items():
+        if bucket in skip:
+            continue  # tiny absolute magnitude, noisy in relative terms
+        other = precise.energy.as_dict()[bucket]
+        scale = max(fluid.energy.total, 1e-15)
+        assert value == pytest.approx(other, rel=TOLERANCE,
+                                      abs=0.02 * scale), bucket
+
+
+class TestBaselineEquivalence:
+    def test_storage_trace(self, paper_config):
+        trace = synthetic_storage_trace(duration_ms=2.0,
+                                        transfers_per_ms=50, seed=3)
+        fluid, precise = compare(trace, paper_config, "baseline")
+        assert_buckets_close(fluid, precise)
+        assert fluid.utilization_factor == pytest.approx(
+            precise.utilization_factor, abs=0.02)
+        assert fluid.requests == precise.requests
+
+    def test_database_trace(self, paper_config):
+        trace = synthetic_database_trace(duration_ms=1.0,
+                                         transfers_per_ms=50, seed=4)
+        fluid, precise = compare(trace, paper_config, "baseline")
+        assert_buckets_close(fluid, precise)
+        assert fluid.proc_accesses == precise.proc_accesses
+
+
+class TestAlignmentEquivalence:
+    def test_dma_ta(self, paper_config):
+        trace = synthetic_storage_trace(duration_ms=2.0,
+                                        transfers_per_ms=50, seed=3)
+        fluid, precise = compare(trace, paper_config, "dma-ta", mu=100.0)
+        assert_buckets_close(fluid, precise)
+        assert fluid.utilization_factor == pytest.approx(
+            precise.utilization_factor, abs=0.03)
+
+    def test_savings_agree(self, paper_config):
+        trace = synthetic_storage_trace(duration_ms=2.0,
+                                        transfers_per_ms=100, seed=5)
+        fb = simulate(trace, config=paper_config, technique="baseline")
+        ft = simulate(trace, config=paper_config, technique="dma-ta",
+                      mu=100.0)
+        pb = simulate(trace, config=paper_config, technique="baseline",
+                      engine="precise")
+        pt = simulate(trace, config=paper_config, technique="dma-ta",
+                      mu=100.0, engine="precise")
+        assert ft.energy_savings_vs(fb) == pytest.approx(
+            pt.energy_savings_vs(pb), abs=0.04)

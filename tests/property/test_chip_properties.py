@@ -1,0 +1,85 @@
+"""Property tests for the fluid chip's accrual invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.energy.policies import default_dynamic_policy
+from repro.energy.rdram import rdram_1600_model
+from repro.memory.chip import ChipRates, FluidChip
+
+MODEL = rdram_1600_model()
+POLICY = default_dynamic_policy(MODEL)
+
+times_strategy = st.lists(
+    st.floats(min_value=0.1, max_value=100_000.0, allow_nan=False),
+    min_size=1, max_size=20)
+
+
+@given(times_strategy)
+@settings(max_examples=60)
+def test_piecewise_advance_equals_single_advance(deltas):
+    """Accrual must not depend on how the timeline is chopped up."""
+    times = []
+    t = 0.0
+    for delta in deltas:
+        t += delta
+        times.append(t)
+    whole = FluidChip(0, MODEL, POLICY, start_asleep=False)
+    whole.advance(times[-1])
+    pieces = FluidChip(0, MODEL, POLICY, start_asleep=False)
+    for moment in times:
+        pieces.advance(moment)
+    assert pieces.energy.total == pytest.approx(whole.energy.total,
+                                                rel=1e-9, abs=1e-15)
+    assert pieces.time.total == pytest.approx(whole.time.total, rel=1e-9)
+
+
+@given(times_strategy)
+@settings(max_examples=60)
+def test_time_buckets_cover_elapsed_time(deltas):
+    chip = FluidChip(0, MODEL, POLICY, start_asleep=False)
+    t = 0.0
+    for delta in deltas:
+        t += delta
+        chip.advance(t)
+    assert chip.time.total == pytest.approx(t, rel=1e-9)
+
+
+@given(st.floats(min_value=1.0, max_value=1e6))
+@settings(max_examples=40)
+def test_energy_bounded_by_active_power(duration):
+    """No state draws more than ACTIVE power, so total energy is bounded
+    by P_active * t (plus transition overshoot, which is also below
+    active power in Table 1)."""
+    chip = FluidChip(0, MODEL, POLICY, start_asleep=False)
+    chip.advance(duration)
+    bound = MODEL.active_power * duration / MODEL.frequency_hz
+    assert chip.energy.total <= bound * (1 + 1e-9)
+
+
+@given(st.floats(min_value=0.0, max_value=1.0),
+       st.floats(min_value=0.0, max_value=1.0),
+       st.floats(min_value=1.0, max_value=1e5))
+@settings(max_examples=60)
+def test_busy_accrual_conserves_time(dma, proc, duration):
+    if dma + proc > 1.0:
+        return
+    chip = FluidChip(0, MODEL, POLICY, start_asleep=False)
+    chip.set_busy(0.0, has_dma_stream=dma > 0,
+                  rates=ChipRates(dma=dma, proc=proc))
+    chip.advance(duration)
+    assert chip.time.total == pytest.approx(duration, rel=1e-9)
+    assert chip.time.serving_dma == pytest.approx(duration * dma, rel=1e-9)
+
+
+@given(st.floats(min_value=0.0, max_value=2e6))
+@settings(max_examples=60)
+def test_wake_is_idempotent_and_monotone(moment):
+    chip = FluidChip(0, MODEL, POLICY)
+    chip.advance(moment)
+    first = chip.wake(moment)
+    assert first >= moment
+    # A second wake during or at the end of the window is free.
+    again = chip.wake(first)
+    assert again == pytest.approx(first)
+    assert chip.wake_count <= 1

@@ -1,0 +1,89 @@
+"""Property test: fluid and precise engines agree on random traces.
+
+The strongest validation in the suite: for arbitrary small workloads the
+closed-form fluid engine must land within a few percent of the
+per-request reference on total energy and utilization. Runs on a small
+platform to keep the per-request engine fast.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import simulate
+from repro.config import BusConfig, MemoryConfig, SimulationConfig
+from repro.traces.records import DMATransfer, ProcessorBurst
+from repro.traces.trace import Trace
+
+MB = 1 << 20
+
+CONFIG = SimulationConfig(
+    memory=MemoryConfig(num_chips=4, chip_bytes=MB, page_bytes=8192),
+    buses=BusConfig(count=3),
+)
+
+transfers = st.builds(
+    DMATransfer,
+    time=st.floats(min_value=0.0, max_value=150_000.0),
+    page=st.integers(min_value=0, max_value=63),
+    size_bytes=st.sampled_from([512, 8192]),
+    source=st.sampled_from(["network", "disk"]),
+)
+
+bursts = st.builds(
+    ProcessorBurst,
+    time=st.floats(min_value=0.0, max_value=150_000.0),
+    page=st.integers(min_value=0, max_value=63),
+    count=st.integers(min_value=1, max_value=32),
+)
+
+
+@given(st.lists(st.one_of(transfers, bursts), min_size=1, max_size=12))
+@settings(max_examples=25, deadline=None)
+def test_engines_agree_on_baseline(records):
+    trace = Trace(name="eq", records=list(records),
+                  duration_cycles=250_000.0)
+    fluid = simulate(trace, config=CONFIG, technique="baseline")
+    precise = simulate(trace, config=CONFIG, technique="baseline",
+                       engine="precise")
+    assert fluid.requests == precise.requests
+    assert fluid.proc_accesses == precise.proc_accesses
+    assert fluid.time.serving_dma == pytest.approx(
+        precise.time.serving_dma, rel=1e-6)
+    assert fluid.energy_joules == pytest.approx(
+        precise.energy_joules, rel=0.06,
+        abs=0.02 * max(fluid.energy_joules, 1e-12))
+    assert fluid.utilization_factor == pytest.approx(
+        precise.utilization_factor, abs=0.05)
+
+
+page_transfers = st.builds(
+    DMATransfer,
+    time=st.floats(min_value=0.0, max_value=150_000.0),
+    page=st.integers(min_value=0, max_value=63),
+    size_bytes=st.just(8192),
+    source=st.sampled_from(["network", "disk"]),
+)
+
+
+@given(st.lists(page_transfers, min_size=1, max_size=10),
+       st.floats(min_value=10.0, max_value=300.0))
+@settings(max_examples=20, deadline=None)
+def test_engines_agree_under_dma_ta(records, mu):
+    # Page-sized transfers only: 64-request (512 B) transfers are short
+    # enough that request-phase boundary effects — which the fluid model
+    # deliberately smears — dominate their energy, and the two engines'
+    # legitimately different admission instants cascade. At 1024-request
+    # granularity the smearing is negligible.
+    trace = Trace(name="eq-ta", records=list(records),
+                  duration_cycles=250_000.0)
+    fluid = simulate(trace, config=CONFIG, technique="dma-ta", mu=mu)
+    precise = simulate(trace, config=CONFIG, technique="dma-ta", mu=mu,
+                       engine="precise")
+    assert fluid.requests == precise.requests
+    assert fluid.time.serving_dma == pytest.approx(
+        precise.time.serving_dma, rel=1e-6)
+    # Alignment decisions may differ at instants where chip state is
+    # borderline between the two models; energy must still track.
+    assert fluid.energy_joules == pytest.approx(
+        precise.energy_joules, rel=0.10,
+        abs=0.03 * max(fluid.energy_joules, 1e-12))

@@ -1,0 +1,102 @@
+"""Property tests on whole simulations over randomly generated traces.
+
+These pin the global invariants of the model: energy conservation across
+buckets, exact serving-energy accounting, bounded utilization, and the
+DMA-TA guarantee.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import simulate
+from repro.config import BusConfig, MemoryConfig, SimulationConfig
+from repro.traces.records import DMATransfer, ProcessorBurst
+from repro.traces.trace import Trace
+
+MB = 1 << 20
+
+CONFIG = SimulationConfig(
+    memory=MemoryConfig(num_chips=4, chip_bytes=MB, page_bytes=8192),
+    buses=BusConfig(count=3),
+)
+
+transfer_strategy = st.builds(
+    DMATransfer,
+    time=st.floats(min_value=0.0, max_value=200_000.0),
+    page=st.integers(min_value=0, max_value=511),
+    size_bytes=st.sampled_from([512, 4096, 8192]),
+    source=st.sampled_from(["network", "disk"]),
+    is_write=st.booleans(),
+)
+
+burst_strategy = st.builds(
+    ProcessorBurst,
+    time=st.floats(min_value=0.0, max_value=200_000.0),
+    page=st.integers(min_value=0, max_value=511),
+    count=st.integers(min_value=1, max_value=64),
+)
+
+record_lists = st.lists(st.one_of(transfer_strategy, burst_strategy),
+                        min_size=1, max_size=25)
+
+
+def run(records, technique="baseline", mu=None):
+    trace = Trace(name="prop", records=list(records),
+                  duration_cycles=300_000.0)
+    return simulate(trace, config=CONFIG, technique=technique, mu=mu)
+
+
+@given(record_lists)
+@settings(max_examples=40, deadline=None)
+def test_energy_buckets_non_negative_and_consistent(records):
+    result = run(records)
+    result.energy.validate()
+    result.time.validate()
+    assert result.energy_joules > 0
+
+
+@given(record_lists)
+@settings(max_examples=40, deadline=None)
+def test_serving_energy_exactly_matches_request_count(records):
+    """Every DMA-memory request is served for exactly 4 cycles at 300 mW,
+    and every processor access for 32 cycles — no more, no less."""
+    result = run(records)
+    expected_dma = result.requests * 4.0
+    expected_proc = result.proc_accesses * 32.0
+    assert result.time.serving_dma == pytest.approx(expected_dma, rel=1e-6)
+    assert result.time.serving_proc == pytest.approx(expected_proc, rel=1e-6)
+
+
+@given(record_lists)
+@settings(max_examples=40, deadline=None)
+def test_utilization_factor_in_range(records):
+    result = run(records)
+    assert 0.0 <= result.utilization_factor <= 1.0 + 1e-9
+
+
+@given(record_lists)
+@settings(max_examples=25, deadline=None)
+def test_dma_ta_serves_everything_too(records):
+    """Delaying transfers must never lose work."""
+    base = run(records)
+    aligned = run(records, technique="dma-ta", mu=50.0)
+    assert aligned.requests == base.requests
+    assert aligned.time.serving_dma == pytest.approx(
+        base.time.serving_dma, rel=1e-6)
+
+
+@given(record_lists, st.floats(min_value=1.0, max_value=500.0))
+@settings(max_examples=25, deadline=None)
+def test_guarantee_never_violated(records, mu):
+    result = run(records, technique="dma-ta", mu=mu)
+    assert not result.guarantee_violated
+    assert result.avg_extra_service_cycles <= mu * 4.0 * (1 + 1e-6) + 1e-9
+
+
+@given(record_lists)
+@settings(max_examples=20, deadline=None)
+def test_deterministic(records):
+    a = run(records)
+    b = run(records)
+    assert a.energy_joules == b.energy_joules
+    assert a.time.as_dict() == b.time.as_dict()

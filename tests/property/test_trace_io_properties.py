@@ -1,0 +1,60 @@
+"""Property test: trace serialisation round-trips arbitrary traces."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.traces.io import read_trace, write_trace
+from repro.traces.records import ClientRequest, DMATransfer, ProcessorBurst
+from repro.traces.trace import Trace
+
+finite_time = st.floats(min_value=0.0, max_value=1e9, allow_nan=False,
+                        allow_infinity=False)
+
+transfers = st.builds(
+    DMATransfer,
+    time=finite_time,
+    page=st.integers(min_value=0, max_value=1_000_000),
+    size_bytes=st.integers(min_value=1, max_value=1 << 20),
+    source=st.sampled_from(["network", "disk"]),
+    is_write=st.booleans(),
+    bus=st.one_of(st.none(), st.integers(min_value=0, max_value=7)),
+)
+
+bursts = st.builds(
+    ProcessorBurst,
+    time=finite_time,
+    page=st.integers(min_value=0, max_value=1_000_000),
+    count=st.integers(min_value=1, max_value=10_000),
+    window_cycles=st.floats(min_value=0.0, max_value=1e6),
+    is_write=st.booleans(),
+)
+
+clients = st.dictionaries(
+    st.integers(min_value=0, max_value=50),
+    st.floats(min_value=0.0, max_value=1e9),
+    max_size=8,
+).map(lambda d: {
+    k: ClientRequest(request_id=k, arrival=v, base_cycles=v / 2)
+    for k, v in d.items()
+})
+
+
+@given(st.lists(st.one_of(transfers, bursts), max_size=30), clients,
+       st.text(alphabet=st.characters(blacklist_categories=("Cs",)),
+               min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_round_trip(records, client_table, name):
+    import tempfile
+    from pathlib import Path
+
+    trace = Trace(name=name, records=records, clients=client_table,
+                  duration_cycles=2e9,
+                  metadata={"seed": 1, "note": "prop"})
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "trace.jsonl"
+        write_trace(trace, path)
+        loaded = read_trace(path)
+    assert loaded.name == trace.name
+    assert loaded.records == trace.records
+    assert loaded.clients == trace.clients
+    assert loaded.duration_cycles == trace.duration_cycles
+    assert loaded.metadata == trace.metadata

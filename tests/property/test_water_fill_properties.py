@@ -1,0 +1,58 @@
+"""Property tests for the max-min fair allocator."""
+
+from hypothesis import given, strategies as st
+
+from repro.io.dma import water_fill
+
+demands_strategy = st.lists(
+    st.floats(min_value=0.001, max_value=1.0, allow_nan=False),
+    min_size=0, max_size=12)
+capacity_strategy = st.floats(min_value=0.0, max_value=2.0, allow_nan=False)
+
+
+@given(demands_strategy, capacity_strategy)
+def test_grants_never_exceed_demand(demands, capacity):
+    grants = water_fill(demands, capacity)
+    for grant, demand in zip(grants, demands):
+        assert grant <= demand + 1e-9
+
+
+@given(demands_strategy, capacity_strategy)
+def test_total_never_exceeds_capacity(demands, capacity):
+    grants = water_fill(demands, capacity)
+    assert sum(grants) <= max(capacity, 0.0) + 1e-9
+
+
+@given(demands_strategy, capacity_strategy)
+def test_work_conserving(demands, capacity):
+    """Either all demand is met or all capacity is used."""
+    grants = water_fill(demands, capacity)
+    total_demand = sum(demands)
+    if capacity > 0 and demands:
+        assert (sum(grants) >= min(total_demand, capacity) - 1e-9)
+
+
+@given(demands_strategy, capacity_strategy)
+def test_grants_non_negative(demands, capacity):
+    assert all(g >= 0.0 for g in water_fill(demands, capacity))
+
+
+@given(demands_strategy, capacity_strategy)
+def test_max_min_fairness(demands, capacity):
+    """No grant can be raised without lowering a smaller-or-equal one:
+    every unsatisfied stream gets at least as much as any other grant."""
+    grants = water_fill(demands, capacity)
+    unsatisfied = [g for g, d in zip(grants, demands) if g < d - 1e-9]
+    if unsatisfied:
+        floor = min(unsatisfied)
+        assert all(g <= floor + 1e-9 for g in grants)
+
+
+@given(st.lists(st.floats(min_value=0.001, max_value=1.0), min_size=1,
+                max_size=8), capacity_strategy)
+def test_permutation_invariant(demands, capacity):
+    """Reordering the streams must not change anyone's grant."""
+    grants = water_fill(demands, capacity)
+    reversed_grants = water_fill(list(reversed(demands)), capacity)
+    assert all(abs(a - b) < 1e-9
+               for a, b in zip(grants, reversed(reversed_grants)))

@@ -1,0 +1,73 @@
+"""Units for the plain-text chart renderers."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, line_chart, savings_chart
+from repro.errors import ConfigurationError
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        text = bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_negative_values_marked(self):
+        text = bar_chart({"loss": -0.5, "gain": 1.0}, width=10)
+        assert "-" in text.splitlines()[0]
+
+    def test_title_and_unit(self):
+        text = bar_chart({"x": 3.0}, title="T", unit="%")
+        assert text.startswith("T")
+        assert "3%" in text
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart({})
+
+    def test_zero_values(self):
+        text = bar_chart({"a": 0.0})
+        assert "#" not in text
+
+    def test_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart({"a": 1.0}, width=0)
+
+
+class TestLineChart:
+    def test_grid_dimensions(self):
+        text = line_chart([0, 1, 2], [0, 1, 4], height=5, width=20)
+        rows = [l for l in text.splitlines() if l.startswith("|")]
+        assert len(rows) == 5
+
+    def test_extremes_plotted(self):
+        text = line_chart([0, 10], [0, 1], height=4, width=10)
+        rows = [l for l in text.splitlines() if l.startswith("|")]
+        assert rows[0][-1] == "*" or "*" in rows[0]  # max at top
+        assert "*" in rows[-1]                        # min at bottom
+
+    def test_labels(self):
+        text = line_chart([1, 2], [3, 4], x_label="cp", y_label="savings")
+        assert "cp" in text and "savings" in text
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            line_chart([1], [1, 2])
+
+    def test_empty(self):
+        assert "(no data)" in line_chart([], [])
+
+    def test_flat_series(self):
+        text = line_chart([0, 1], [5, 5], height=3, width=8)
+        assert "*" in text
+
+
+class TestSavingsChart:
+    def test_percent_scaling(self):
+        text = savings_chart({0.1: 0.25}, title="S")
+        assert "25" in text
+
+    def test_sorted_by_x(self):
+        text = savings_chart({0.3: 0.1, 0.1: 0.2}, title="S")
+        lines = text.splitlines()[1:]
+        assert lines[0].startswith("0.1")

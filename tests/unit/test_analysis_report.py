@@ -1,0 +1,60 @@
+"""Units for the experiment-report builder."""
+
+import pytest
+
+from repro.analysis.report import build_report, render_report
+from repro.config import BusConfig, MemoryConfig, SimulationConfig
+from repro.errors import ConfigurationError
+from repro.traces.synthetic import synthetic_storage_trace
+
+MB = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def report():
+    trace = synthetic_storage_trace(duration_ms=3.0, seed=17)
+    config = SimulationConfig(
+        memory=MemoryConfig(num_chips=8, chip_bytes=4 * MB,
+                            page_bytes=8192),
+        buses=BusConfig(count=3))
+    return build_report(trace, config=config, cp_limits=(0.05, 0.2),
+                        techniques=("dma-ta",))
+
+
+class TestBuild:
+    def test_matrix_shape(self, report):
+        assert set(report.by_technique) == {"dma-ta"}
+        assert set(report.by_technique["dma-ta"]) == {0.05, 0.2}
+        assert report.baseline.technique == "baseline"
+
+    def test_savings_accessor(self, report):
+        savings = report.savings("dma-ta")
+        assert set(savings) == {0.05, 0.2}
+        assert all(isinstance(v, float) for v in savings.values())
+
+    def test_savings_unknown_technique(self, report):
+        assert report.savings("nothing") == {}
+
+    def test_best(self, report):
+        technique, cp, saving = report.best()
+        if saving > 0:
+            assert technique == "dma-ta"
+            assert cp in (0.05, 0.2)
+
+    def test_empty_cp_limits_rejected(self):
+        trace = synthetic_storage_trace(duration_ms=1.0, seed=18)
+        with pytest.raises(ConfigurationError):
+            build_report(trace, cp_limits=())
+
+
+class TestRender:
+    def test_sections_present(self, report):
+        text = render_report(report)
+        assert "Experiment report" in text
+        assert "Technique matrix" in text
+        assert "savings vs CP-Limit" in text
+        assert "baseline" in text
+
+    def test_guarantee_column(self, report):
+        text = render_report(report)
+        assert "VIOLATED" not in text

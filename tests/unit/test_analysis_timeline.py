@@ -1,0 +1,105 @@
+"""Units for the timeline recorder and heatmap renderer."""
+
+import pytest
+
+from repro import simulate
+from repro.analysis.timeline import (
+    SHADES,
+    activity_share,
+    bucketize,
+    render_heatmap,
+    render_row,
+)
+from repro.config import BusConfig, MemoryConfig, SimulationConfig
+from repro.errors import ConfigurationError
+from repro.traces.records import DMATransfer
+from repro.traces.trace import Trace
+
+MB = 1 << 20
+
+
+class TestBucketize:
+    def test_full_coverage(self):
+        loads = bucketize([(0.0, 100.0, 1.0)], 0.0, 100.0, 4)
+        assert loads == pytest.approx([1.0, 1.0, 1.0, 1.0])
+
+    def test_partial_interval(self):
+        loads = bucketize([(0.0, 50.0, 1.0)], 0.0, 100.0, 4)
+        assert loads == pytest.approx([1.0, 1.0, 0.0, 0.0])
+
+    def test_fractional_load(self):
+        loads = bucketize([(0.0, 100.0, 1 / 3)], 0.0, 100.0, 2)
+        assert loads == pytest.approx([1 / 3, 1 / 3])
+
+    def test_out_of_range_clipped(self):
+        loads = bucketize([(-50.0, 150.0, 1.0)], 0.0, 100.0, 2)
+        assert loads == pytest.approx([1.0, 1.0])
+
+    def test_caps_at_one(self):
+        loads = bucketize([(0.0, 100.0, 1.0), (0.0, 100.0, 1.0)],
+                          0.0, 100.0, 1)
+        assert loads == [1.0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bucketize([], 0.0, 100.0, 0)
+        with pytest.raises(ConfigurationError):
+            bucketize([], 100.0, 0.0, 4)
+
+
+class TestRendering:
+    def test_row_uses_shades(self):
+        row = render_row([(0.0, 50.0, 1.0)], 0.0, 100.0, 10)
+        assert len(row) == 10
+        assert row[0] == SHADES[-1]
+        assert row[-1] == SHADES[0]
+
+    def test_heatmap_rows_per_chip(self):
+        heatmap = render_heatmap(
+            {0: [(0.0, 10.0, 1.0)], 3: []}, duration_cycles=100.0,
+            width=20, title="T")
+        lines = heatmap.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("chip 0")
+        assert lines[2].startswith("chip 3")
+
+    def test_empty_heatmap(self):
+        assert "no timeline" in render_heatmap({}, 100.0)
+
+    def test_activity_share(self):
+        shares = activity_share({0: [(0.0, 25.0, 0.5)], 1: []}, 100.0)
+        assert shares[0] == pytest.approx(0.25)
+        assert shares[1] == 0.0
+
+
+class TestRecording:
+    @pytest.fixture
+    def config(self):
+        return SimulationConfig(
+            memory=MemoryConfig(num_chips=4, chip_bytes=MB, page_bytes=8192),
+            buses=BusConfig(count=3))
+
+    def test_simulate_records(self, config):
+        trace = Trace(name="t", records=[
+            DMATransfer(time=1000.0, page=0, size_bytes=8192)],
+            duration_cycles=100_000.0)
+        result = simulate(trace, config=config, record_timeline=True)
+        assert result.timeline is not None
+        busy_chips = [cid for cid, iv in result.timeline.items() if iv]
+        assert len(busy_chips) == 1
+        intervals = result.timeline[busy_chips[0]]
+        total = sum(t1 - t0 for t0, t1, _ in intervals)
+        assert total == pytest.approx(1024 * 12.0, rel=0.05)
+
+    def test_off_by_default(self, config):
+        trace = Trace(name="t", records=[
+            DMATransfer(time=0.0, page=0, size_bytes=8192)],
+            duration_cycles=50_000.0)
+        result = simulate(trace, config=config)
+        assert result.timeline is None
+
+    def test_precise_engine_rejects(self, config):
+        trace = Trace(name="t", records=[], duration_cycles=10.0)
+        with pytest.raises(ConfigurationError):
+            simulate(trace, config=config, engine="precise",
+                     record_timeline=True)

@@ -1,0 +1,105 @@
+"""Units for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.traces.io import read_trace
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    code = main(["generate", "synthetic-st", "-o", str(path),
+                 "--duration-ms", "2", "--seed", "7"])
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert "repro" in capsys.readouterr().out
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "mystery", "-o", "x"])
+
+
+class TestGenerate:
+    def test_writes_valid_trace(self, trace_file, capsys):
+        trace = read_trace(trace_file)
+        assert trace.name == "Synthetic-St"
+        assert len(trace.transfers) > 50
+
+    def test_all_kinds(self, tmp_path):
+        for kind in ("oltp-st", "oltp-db", "synthetic-db"):
+            path = tmp_path / f"{kind}.jsonl"
+            assert main(["generate", kind, "-o", str(path),
+                         "--duration-ms", "1"]) == 0
+            assert path.exists()
+
+
+class TestCharacterize(object):
+    def test_prints_summary(self, trace_file, capsys):
+        assert main(["characterize", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "transfer rate" in out
+        assert "top-20% access share" in out
+
+    def test_cdf_flag(self, trace_file, capsys):
+        assert main(["characterize", str(trace_file), "--cdf"]) == 0
+        assert "popularity CDF" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["characterize", "/nonexistent/trace.jsonl"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestSimulate:
+    def test_baseline(self, trace_file, capsys):
+        assert main(["simulate", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "technique=baseline" in out
+        assert "idle_dma" in out
+
+    def test_dma_ta_with_cp_limit(self, trace_file, capsys):
+        assert main(["simulate", str(trace_file), "--technique", "dma-ta",
+                     "--cp-limit", "0.1"]) == 0
+        assert "guarantee" in capsys.readouterr().out
+
+    def test_mu_and_cp_conflict(self, trace_file, capsys):
+        code = main(["simulate", str(trace_file), "--technique", "dma-ta",
+                     "--cp-limit", "0.1", "--mu", "5"])
+        assert code == 2
+
+
+class TestCompareAndSweep:
+    def test_compare(self, trace_file, capsys):
+        assert main(["compare", str(trace_file), "--cp-limit", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "DMA-TA-PL" in out
+        assert "savings" in out
+
+    def test_sweep(self, trace_file, capsys):
+        assert main(["sweep", str(trace_file), "--cp-limits", "0.05,0.2",
+                     "--technique", "dma-ta"]) == 0
+        out = capsys.readouterr().out
+        assert "0.05" in out and "0.2" in out
+
+    def test_sweep_bad_list(self, trace_file, capsys):
+        assert main(["sweep", str(trace_file),
+                     "--cp-limits", "abc"]) == 2
+
+
+class TestCalibrate:
+    def test_prints_mu(self, trace_file, capsys):
+        assert main(["calibrate", str(trace_file),
+                     "--cp-limit", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "mu" in out
+        assert "requests per client" in out

@@ -1,0 +1,81 @@
+"""Units for CP-Limit -> mu calibration (Section 5.1)."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.cp_limit import calibrate_mu, nominal_transfer_cycles
+from repro.errors import TraceError
+from repro.traces.records import ClientRequest, DMATransfer
+from repro.traces.trace import Trace
+
+
+def trace_with_clients(base_cycles=100_000.0, n=4):
+    records, clients = [], {}
+    for i in range(n):
+        arrival = 10_000.0 * i
+        clients[i] = ClientRequest(request_id=i, arrival=arrival,
+                                   base_cycles=base_cycles)
+        records.append(DMATransfer(time=arrival + 100.0, page=i,
+                                   size_bytes=8192, request_id=i))
+    return Trace(name="t", records=records, clients=clients,
+                 duration_cycles=1e6)
+
+
+class TestNominalCycles:
+    def test_pcix_8kb(self):
+        cfg = SimulationConfig()
+        # 8 KB over 1.064 GB/s at 1600 MHz ~ 12318 cycles.
+        assert nominal_transfer_cycles(8192, cfg) == pytest.approx(
+            12318, rel=0.01)
+
+
+class TestCalibration:
+    def test_basic_numbers(self):
+        cfg = SimulationConfig()
+        cal = calibrate_mu(trace_with_clients(), cfg, cp_limit=0.10)
+        assert cal.clients == 4
+        assert cal.requests_per_client == pytest.approx(1024.0)
+        # R0 = 100 (transfer offset) + ~12318 (transfer) + 100000 (base).
+        assert cal.mean_response_cycles == pytest.approx(112_418, rel=0.01)
+        assert cal.mu == pytest.approx(
+            0.10 * cal.mean_response_cycles / (1024 * 4), rel=1e-9)
+
+    def test_mu_scales_with_cp(self):
+        cfg = SimulationConfig()
+        trace = trace_with_clients()
+        a = calibrate_mu(trace, cfg, 0.05)
+        b = calibrate_mu(trace, cfg, 0.10)
+        assert b.mu == pytest.approx(2 * a.mu)
+
+    def test_larger_base_means_larger_mu(self):
+        """Disk-bound requests tolerate more memory-side delay."""
+        cfg = SimulationConfig()
+        fast = calibrate_mu(trace_with_clients(base_cycles=1e4), cfg, 0.1)
+        slow = calibrate_mu(trace_with_clients(base_cycles=1e7), cfg, 0.1)
+        assert slow.mu > fast.mu
+
+    def test_rejects_traces_without_clients(self):
+        cfg = SimulationConfig()
+        trace = Trace(name="t", records=[
+            DMATransfer(time=0.0, page=0, size_bytes=8192)])
+        with pytest.raises(TraceError):
+            calibrate_mu(trace, cfg, 0.1)
+
+    def test_rejects_negative_cp(self):
+        with pytest.raises(TraceError):
+            calibrate_mu(trace_with_clients(), SimulationConfig(), -0.1)
+
+    def test_multi_transfer_request_uses_last_completion(self):
+        clients = {0: ClientRequest(request_id=0, arrival=0.0,
+                                    base_cycles=0.0)}
+        records = [
+            DMATransfer(time=100.0, page=0, size_bytes=8192, request_id=0),
+            DMATransfer(time=50_000.0, page=0, size_bytes=8192,
+                        request_id=0),
+        ]
+        trace = Trace(name="t", records=records, clients=clients,
+                      duration_cycles=1e6)
+        cal = calibrate_mu(trace, SimulationConfig(), 0.1)
+        assert cal.mean_response_cycles == pytest.approx(
+            50_000 + 12_318, rel=0.01)
+        assert cal.requests_per_client == pytest.approx(2048.0)

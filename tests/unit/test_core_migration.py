@@ -1,0 +1,98 @@
+"""Units for the PL migration planner (Section 4.2)."""
+
+import pytest
+
+from repro.config import PopularityLayoutConfig
+from repro.core.layout import PopularityGrouper
+from repro.core.migration import MigrationPlanner, PageMove
+from repro.memory.address import MutableLayout, SequentialLayout
+
+
+NUM_CHIPS, PAGES_PER_CHIP = 4, 8
+
+
+def build(ranked_counts, layout=None, **cfg_overrides):
+    cfg = PopularityLayoutConfig(
+        num_groups=2, hot_access_fraction=0.6, min_hot_references=1,
+        **cfg_overrides)
+    grouper = PopularityGrouper(NUM_CHIPS, PAGES_PER_CHIP, cfg)
+    planner = MigrationPlanner(cfg)
+    layout = layout or MutableLayout(
+        SequentialLayout(NUM_CHIPS, PAGES_PER_CHIP))
+    ranked = [(page, count) for page, count in ranked_counts]
+    plan = grouper.build_plan(ranked)
+    migration = planner.plan_and_apply(plan, layout)
+    return plan, migration, layout, planner
+
+
+class TestPlanning:
+    def test_hot_pages_land_on_hot_chips(self):
+        # Pages 20 and 28 (chips 2 and 3) are the hot ones.
+        plan, migration, layout, _ = build([(20, 50), (28, 40), (1, 5)])
+        assert layout.chip_of(20) == 0
+        assert layout.chip_of(28) == 0
+        assert migration.num_moves > 0
+
+    def test_pages_already_placed_stay(self):
+        # Page 1 already lives on chip 0 (the hot chip).
+        plan, migration, layout, _ = build([(1, 50), (2, 40)])
+        assert layout.chip_of(1) == 0
+        assert layout.chip_of(2) == 0
+        # A full layout swaps evict correctly placed... page 1, 2 on chip 0
+        # already: no moves at all.
+        assert migration.num_moves == 0
+
+    def test_swap_conserves_occupancy(self):
+        _, migration, layout, _ = build([(20, 50), (28, 40)])
+        for chip in range(NUM_CHIPS):
+            assert layout.occupancy(chip) == PAGES_PER_CHIP
+
+    def test_swaps_cost_two_moves(self):
+        # Full layout: every relocation is a swap = 2 recorded moves.
+        _, migration, layout, _ = build([(20, 50)])
+        assert migration.num_moves == 2
+        pages_moved = {m.page for m in migration.moves}
+        assert 20 in pages_moved
+
+    def test_copy_cycles_per_chip(self):
+        _, migration, _, _ = build([(20, 50)])
+        cycles = migration.copy_cycles_per_chip(page_copy_cycles=4096.0)
+        # A swap touches chips 0 and 2 twice each (both directions).
+        assert cycles[0] == pytest.approx(2 * 4096.0)
+        assert cycles[2] == pytest.approx(2 * 4096.0)
+
+    def test_second_interval_is_stable(self):
+        counts = [(20, 50), (28, 40)]
+        plan, first, layout, planner = build(counts)
+        cfg = PopularityLayoutConfig(num_groups=2, hot_access_fraction=0.6,
+                                     min_hot_references=1)
+        grouper = PopularityGrouper(NUM_CHIPS, PAGES_PER_CHIP, cfg)
+        plan2 = grouper.build_plan(list(counts))
+        second = planner.plan_and_apply(plan2, layout)
+        assert second.num_moves == 0
+
+
+class TestTableFlushes:
+    def test_flush_count(self):
+        _, migration, _, _ = build(
+            [(20, 50), (28, 40), (12, 30)],
+            translation_table_entries=2)
+        assert migration.table_flushes == -(-migration.num_moves // 2)
+
+    def test_no_moves_no_flushes(self):
+        _, migration, _, _ = build([(1, 50)])
+        assert migration.num_moves == 0
+        assert migration.table_flushes == 0
+
+
+class TestCumulativeCounters:
+    def test_planner_accumulates(self):
+        cfg = PopularityLayoutConfig(num_groups=2, min_hot_references=1)
+        grouper = PopularityGrouper(NUM_CHIPS, PAGES_PER_CHIP, cfg)
+        planner = MigrationPlanner(cfg)
+        layout = MutableLayout(SequentialLayout(NUM_CHIPS, PAGES_PER_CHIP))
+        plan = grouper.build_plan([(20, 50)])
+        planner.plan_and_apply(plan, layout)
+        plan2 = grouper.build_plan([(28, 50)])
+        planner.plan_and_apply(plan2, layout)
+        assert planner.total_moves >= 2

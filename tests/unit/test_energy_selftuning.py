@@ -1,0 +1,93 @@
+"""Units for the self-tuning dynamic policy."""
+
+import pytest
+
+from repro.energy.policies import break_even_cycles
+from repro.energy.rdram import rdram_1600_model
+from repro.energy.selftuning import SelfTuningPolicy
+from repro.energy.states import LOW_POWER_STATES, PowerState
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def model():
+    return rdram_1600_model()
+
+
+class TestSchedule:
+    def test_starts_at_break_even(self, model):
+        policy = SelfTuningPolicy()
+        schedule = policy.schedule(model)
+        assert schedule[0][0] == pytest.approx(
+            break_even_cycles(model, PowerState.STANDBY))
+        assert [s for _, s in schedule] == list(LOW_POWER_STATES)
+
+    def test_scale_applies(self, model):
+        policy = SelfTuningPolicy(scale=2.0)
+        assert policy.schedule(model)[0][0] == pytest.approx(
+            2 * break_even_cycles(model, PowerState.STANDBY))
+
+
+class TestAdaptation:
+    def test_premature_wakes_grow_thresholds(self, model):
+        policy = SelfTuningPolicy()
+        for _ in range(10):
+            policy.observe_idle_period(25.0, model)  # woke almost at once
+        new_scale = policy.adapt()
+        assert new_scale == pytest.approx(1.5)
+
+    def test_long_sleeps_shrink_thresholds(self, model):
+        policy = SelfTuningPolicy()
+        for _ in range(10):
+            policy.observe_idle_period(1e6, model)
+        assert policy.adapt() == pytest.approx(0.8)
+
+    def test_balanced_observations_hold(self, model):
+        policy = SelfTuningPolicy()
+        for _ in range(5):
+            policy.observe_idle_period(25.0, model)
+            policy.observe_idle_period(1e6, model)
+        assert policy.adapt() == pytest.approx(1.0)
+
+    def test_counters_reset(self, model):
+        policy = SelfTuningPolicy()
+        policy.observe_idle_period(25.0, model)
+        policy.adapt()
+        assert policy.premature_wakes == 0
+        assert policy.adjustments == 1
+
+    def test_clamping(self, model):
+        policy = SelfTuningPolicy(scale=12.0, max_scale=16.0)
+        for _ in range(5):
+            for _ in range(10):
+                policy.observe_idle_period(25.0, model)
+            policy.adapt()
+        assert policy.scale == 16.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SelfTuningPolicy(scale=0.1, min_scale=0.25)
+        with pytest.raises(ConfigurationError):
+            SelfTuningPolicy(grow=0.9)
+
+
+class TestEndToEnd:
+    def test_paper_claim_threshold_insensitivity(self, model):
+        """The paper: self-tuning results were "similar" because DMA
+        traffic is insensitive to the threshold setting. Simulate with
+        scales spanning 16x and check the energy moves only a little."""
+        import dataclasses
+
+        from repro import simulate
+        from repro.config import SimulationConfig
+        from repro.traces.synthetic import synthetic_storage_trace
+
+        trace = synthetic_storage_trace(duration_ms=4.0, seed=23)
+        energies = []
+        for scale in (0.5, 1.0, 4.0):
+            policy = SelfTuningPolicy(scale=scale)
+            config = dataclasses.replace(SimulationConfig(), policy=policy)
+            result = simulate(trace, config=config, technique="baseline")
+            energies.append(result.energy_joules)
+        spread = (max(energies) - min(energies)) / min(energies)
+        assert spread < 0.20

@@ -1,0 +1,69 @@
+"""Units for devices and the transfer-to-bus assigner."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.io.devices import BusAssigner, Device, default_topology
+from repro.traces.records import DMATransfer, SOURCE_DISK, SOURCE_NETWORK
+
+
+def transfer(source=SOURCE_NETWORK, bus=None):
+    return DMATransfer(time=0.0, page=0, size_bytes=8192, source=source,
+                       bus=bus)
+
+
+class TestTopology:
+    def test_default_has_both_sources_everywhere(self):
+        devices = default_topology(3)
+        assert len(devices) == 6
+        for bus in range(3):
+            sources = {d.source for d in devices if d.bus == bus}
+            assert sources == {SOURCE_NETWORK, SOURCE_DISK}
+
+    def test_rejects_zero_buses(self):
+        with pytest.raises(ConfigurationError):
+            default_topology(0)
+
+    def test_device_validation(self):
+        with pytest.raises(ConfigurationError):
+            Device(name="x", source="tape", bus=0)
+        with pytest.raises(ConfigurationError):
+            Device(name="x", source=SOURCE_DISK, bus=-1)
+
+
+class TestAssigner:
+    def test_round_robin_within_source(self):
+        assigner = BusAssigner(3)
+        buses = [assigner.assign(transfer()) for _ in range(6)]
+        assert buses == [0, 1, 2, 0, 1, 2]
+
+    def test_sources_cycle_independently(self):
+        assigner = BusAssigner(3)
+        net1 = assigner.assign(transfer(SOURCE_NETWORK))
+        disk1 = assigner.assign(transfer(SOURCE_DISK))
+        net2 = assigner.assign(transfer(SOURCE_NETWORK))
+        assert net1 == disk1 == 0
+        assert net2 == 1
+
+    def test_explicit_bus_respected(self):
+        assigner = BusAssigner(3)
+        assert assigner.assign(transfer(bus=2)) == 2
+
+    def test_explicit_bus_wrapped_into_range(self):
+        assigner = BusAssigner(3)
+        assert assigner.assign(transfer(bus=7)) == 1
+
+    def test_device_on_missing_bus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BusAssigner(1, devices=[
+                Device(name="nic9", source=SOURCE_NETWORK, bus=9)])
+
+    def test_custom_topology(self):
+        devices = [
+            Device(name="nic0", source=SOURCE_NETWORK, bus=0),
+            Device(name="hba0", source=SOURCE_DISK, bus=1),
+        ]
+        assigner = BusAssigner(2, devices=devices)
+        assert assigner.assign(transfer(SOURCE_NETWORK)) == 0
+        assert assigner.assign(transfer(SOURCE_DISK)) == 1
+        assert assigner.assign(transfer(SOURCE_NETWORK)) == 0  # only one NIC

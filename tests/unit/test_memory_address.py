@@ -1,0 +1,94 @@
+"""Units for page layouts."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.memory.address import (
+    InterleavedLayout,
+    MutableLayout,
+    RandomLayout,
+    SequentialLayout,
+)
+
+
+class TestSequential:
+    def test_fills_chip_by_chip(self):
+        layout = SequentialLayout(num_chips=4, pages_per_chip=8)
+        assert layout.chip_of(0) == 0
+        assert layout.chip_of(7) == 0
+        assert layout.chip_of(8) == 1
+        assert layout.chip_of(31) == 3
+
+    def test_out_of_range(self):
+        layout = SequentialLayout(num_chips=4, pages_per_chip=8)
+        with pytest.raises(LayoutError):
+            layout.chip_of(32)
+        with pytest.raises(LayoutError):
+            layout.chip_of(-1)
+
+
+class TestInterleaved:
+    def test_round_robin(self):
+        layout = InterleavedLayout(num_chips=4, pages_per_chip=8)
+        assert [layout.chip_of(p) for p in range(6)] == [0, 1, 2, 3, 0, 1]
+
+
+class TestRandom:
+    def test_deterministic_per_seed(self):
+        a = RandomLayout(4, 8, seed=42)
+        b = RandomLayout(4, 8, seed=42)
+        assert [a.chip_of(p) for p in range(32)] == \
+               [b.chip_of(p) for p in range(32)]
+
+    def test_different_seeds_differ(self):
+        a = RandomLayout(8, 64, seed=1)
+        b = RandomLayout(8, 64, seed=2)
+        assert [a.chip_of(p) for p in range(512)] != \
+               [b.chip_of(p) for p in range(512)]
+
+    def test_capacity_respected(self):
+        layout = RandomLayout(4, 8, seed=0)
+        counts = [0] * 4
+        for page in range(32):
+            counts[layout.chip_of(page)] += 1
+        assert counts == [8, 8, 8, 8]
+
+
+class TestMutable:
+    @pytest.fixture
+    def layout(self):
+        return MutableLayout(SequentialLayout(num_chips=4, pages_per_chip=8))
+
+    def test_starts_full(self, layout):
+        assert layout.occupancy(0) == 8
+        assert layout.free_frames(0) == 0
+
+    def test_move_updates_occupancy(self):
+        # Build a layout with head-room by moving pages off chip 0 first.
+        layout = MutableLayout(SequentialLayout(4, 8))
+        layout.swap(0, 8)  # page 0 <-> page 8 (chips 0 and 1)
+        assert layout.chip_of(0) == 1
+        assert layout.chip_of(8) == 0
+        assert layout.occupancy(0) == 8  # swaps conserve occupancy
+
+    def test_move_rejects_full_destination(self, layout):
+        with pytest.raises(LayoutError):
+            layout.move(0, 1)
+
+    def test_move_to_same_chip_is_noop(self, layout):
+        assert layout.move(0, 0) == 0
+        assert layout.occupancy(0) == 8
+
+    def test_swap_is_capacity_safe(self, layout):
+        layout.swap(0, 31)
+        assert layout.chip_of(0) == 3
+        assert layout.chip_of(31) == 0
+        assert all(layout.occupancy(c) == 8 for c in range(4))
+
+    def test_move_out_of_range_chip(self, layout):
+        with pytest.raises(LayoutError):
+            layout.move(0, 9)
+
+    def test_occupancy_out_of_range(self, layout):
+        with pytest.raises(LayoutError):
+            layout.occupancy(17)

@@ -1,0 +1,186 @@
+"""Units for the fluid chip model: idle descent, wake, busy accrual."""
+
+import math
+
+import pytest
+
+from repro.energy.policies import (
+    AlwaysOnPolicy,
+    StaticPolicy,
+    default_dynamic_policy,
+)
+from repro.energy.rdram import rdram_1600_model
+from repro.energy.states import PowerState
+from repro.memory.chip import ChipRates, FluidChip
+
+
+@pytest.fixture
+def model():
+    return rdram_1600_model()
+
+
+def make_chip(model, policy=None, start_asleep=True):
+    policy = policy or default_dynamic_policy(model)
+    return FluidChip(0, model, policy, start_asleep=start_asleep)
+
+
+class TestIdleDescent:
+    def test_starts_asleep_in_deepest_state(self, model):
+        chip = make_chip(model)
+        assert chip.state_at(0.0) is PowerState.POWERDOWN
+        assert chip.is_low_power(0.0)
+
+    def test_starts_active_when_requested(self, model):
+        chip = make_chip(model, start_asleep=False)
+        assert chip.state_at(0.0) is PowerState.ACTIVE
+
+    def test_descent_walks_states(self, model):
+        chip = make_chip(model, start_asleep=False)
+        # Before the first threshold (~19.7 cycles) the chip is ACTIVE.
+        assert chip.state_at(10.0) is PowerState.ACTIVE
+        # Between standby and nap thresholds.
+        assert chip.state_at(40.0) is PowerState.STANDBY
+        # Past the nap threshold (plus its transition).
+        assert chip.state_at(200.0) is PowerState.NAP
+        # Way past the powerdown threshold.
+        assert chip.state_at(10_000.0) is PowerState.POWERDOWN
+
+    def test_always_on_never_descends(self, model):
+        chip = make_chip(model, policy=AlwaysOnPolicy(), start_asleep=False)
+        assert chip.state_at(1e9) is PowerState.ACTIVE
+        assert not chip.is_low_power(1e9)
+
+    def test_idle_energy_accrues_low_power(self, model):
+        chip = make_chip(model)
+        chip.advance(1_600_000.0)  # 1 ms asleep in powerdown
+        # 3 mW for 1 ms = 3 nJ.
+        assert chip.energy.low_power == pytest.approx(3e-6, rel=1e-6)
+        assert chip.energy.total == pytest.approx(3e-6, rel=1e-6)
+
+    def test_descent_charges_transitions(self, model):
+        chip = make_chip(model, start_asleep=False)
+        chip.advance(100_000.0)
+        assert chip.energy.transition > 0
+        assert chip.energy.idle_threshold > 0
+        assert chip.time.transition == pytest.approx(17.0)  # 1 + 8 + 8 cycles
+
+    def test_advance_is_piecewise_consistent(self, model):
+        whole = make_chip(model, start_asleep=False)
+        whole.advance(100_000.0)
+        pieces = make_chip(model, start_asleep=False)
+        for t in (5.0, 25.0, 70.0, 500.0, 99_999.0, 100_000.0):
+            pieces.advance(t)
+        assert pieces.energy.total == pytest.approx(whole.energy.total)
+        assert pieces.time.total == pytest.approx(whole.time.total)
+
+    def test_advance_backwards_is_noop(self, model):
+        chip = make_chip(model)
+        chip.advance(1000.0)
+        before = chip.energy.total
+        chip.advance(500.0)
+        assert chip.energy.total == before
+
+
+class TestWake:
+    def test_wake_from_powerdown_latency(self, model):
+        chip = make_chip(model)
+        chip.advance(50_000.0)
+        latency = chip.wake_latency(50_000.0)
+        assert latency == pytest.approx(9600.0)
+        ready = chip.wake(50_000.0)
+        assert ready == pytest.approx(50_000.0 + 9600.0)
+        assert chip.wake_count == 1
+
+    def test_wake_active_chip_is_free(self, model):
+        chip = make_chip(model, start_asleep=False)
+        chip.advance(5.0)  # still inside the first threshold
+        assert chip.wake_latency(5.0) == 0.0
+        assert chip.wake(5.0) == 5.0
+        assert chip.wake_count == 0
+
+    def test_wake_mid_transition_finishes_descent_first(self, model):
+        chip = make_chip(model, start_asleep=False)
+        # The standby downward transition runs during cycle [19.7, 20.7].
+        t = 20.0
+        chip.advance(t)
+        latency = chip.wake_latency(t)
+        # Remaining downward leg plus the standby resync.
+        assert latency == pytest.approx((20.7 - 20.0) + 9.6, abs=0.2)
+
+    def test_wake_charges_energy(self, model):
+        chip = make_chip(model)
+        chip.advance(50_000.0)
+        before = chip.energy.transition
+        chip.wake(50_000.0)
+        # Powerdown resync: 15 mW for 6000 ns = 90 nJ... in joules.
+        assert chip.energy.transition - before == pytest.approx(
+            0.015 * 6000e-9, rel=1e-6)
+
+    def test_advance_during_wake_window_is_noop(self, model):
+        chip = make_chip(model)
+        chip.advance(50_000.0)
+        ready = chip.wake(50_000.0)
+        energy = chip.energy.total
+        chip.advance((50_000.0 + ready) / 2)
+        assert chip.energy.total == energy
+
+    def test_double_wake_returns_same_ready(self, model):
+        chip = make_chip(model)
+        chip.advance(50_000.0)
+        ready = chip.wake(50_000.0)
+        assert chip.wake(52_000.0) == ready
+        assert chip.wake_count == 1
+
+
+class TestBusyAccrual:
+    def test_serving_and_idle_split(self, model):
+        chip = make_chip(model, start_asleep=False)
+        chip.set_busy(0.0, has_dma_stream=True,
+                      rates=ChipRates(dma=1 / 3))
+        chip.advance(1200.0)
+        assert chip.time.serving_dma == pytest.approx(400.0)
+        assert chip.time.idle_dma == pytest.approx(800.0)
+        # All at active power.
+        expected = 0.3 * 1200 / model.frequency_hz
+        assert chip.energy.total == pytest.approx(expected)
+
+    def test_idle_without_dma_is_threshold(self, model):
+        chip = make_chip(model, start_asleep=False)
+        chip.set_busy(0.0, has_dma_stream=False,
+                      rates=ChipRates(proc=0.5))
+        chip.advance(100.0)
+        assert chip.time.serving_proc == pytest.approx(50.0)
+        assert chip.time.idle_threshold == pytest.approx(50.0)
+        assert chip.time.idle_dma == 0.0
+
+    def test_migration_bucket(self, model):
+        chip = make_chip(model, start_asleep=False)
+        chip.set_busy(0.0, has_dma_stream=False,
+                      rates=ChipRates(migration=1.0))
+        chip.advance(100.0)
+        assert chip.time.migration == pytest.approx(100.0)
+        assert chip.energy.migration > 0
+
+    def test_set_idle_restarts_descent(self, model):
+        chip = make_chip(model, start_asleep=False)
+        chip.set_busy(0.0, True, ChipRates(dma=1.0))
+        chip.advance(1000.0)
+        chip.set_idle(1000.0)
+        assert chip.state_at(1005.0) is PowerState.ACTIVE  # within threshold
+        assert chip.state_at(1000.0 + 10_000.0) is PowerState.POWERDOWN
+
+    def test_full_utilization_no_idle(self, model):
+        chip = make_chip(model, start_asleep=False)
+        chip.set_busy(0.0, True, ChipRates(dma=1.0))
+        chip.advance(500.0)
+        assert chip.time.idle_dma == 0.0
+        assert chip.time.serving_dma == pytest.approx(500.0)
+
+
+class TestStaticPolicyChip:
+    def test_static_parks_immediately(self, model):
+        chip = make_chip(model, policy=StaticPolicy(state=PowerState.NAP),
+                         start_asleep=False)
+        # Static policy: straight into nap after its (zero) delay.
+        assert chip.state_at(100.0) is PowerState.NAP
+        assert chip.state_at(1e7) is PowerState.NAP  # never deeper

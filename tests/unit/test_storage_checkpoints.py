@@ -1,0 +1,84 @@
+"""Units for write-back destaging: dirty tracking and checkpoints."""
+
+import pytest
+
+from repro.storage.cache import BufferCache
+from repro.storage.server import StorageServer, StorageWorkloadParams
+from repro.traces.records import SOURCE_DISK
+
+
+class TestDirtyTracking:
+    def test_dirty_pages_lru_order(self):
+        cache = BufferCache(4)
+        cache.insert(1, dirty=True)
+        cache.insert(2, dirty=False)
+        cache.insert(3, dirty=True)
+        assert cache.dirty_pages() == [1, 3]
+
+    def test_mark_clean(self):
+        cache = BufferCache(4)
+        cache.insert(1, dirty=True)
+        cache.mark_clean(1)
+        assert cache.dirty_pages() == []
+
+    def test_mark_clean_preserves_recency(self):
+        cache = BufferCache(2)
+        cache.insert(1, dirty=True)
+        cache.insert(2)
+        cache.mark_clean(1)  # must NOT bump page 1 to MRU
+        evicted = cache.insert(3)
+        assert evicted == (1, False)
+
+    def test_mark_clean_missing_page_is_noop(self):
+        BufferCache(2).mark_clean(99)
+
+
+class TestCheckpoints:
+    def make_trace(self, **overrides):
+        params = StorageWorkloadParams(
+            duration_ms=10.0, warmup_requests=2000, **overrides)
+        return StorageServer(params, seed=3).generate()
+
+    def test_checkpoints_emit_disk_writes(self):
+        trace = self.make_trace(checkpoint_interval_ms=2.0)
+        destaged = [t for t in trace.transfers
+                    if t.source == SOURCE_DISK and not t.is_write
+                    and t.request_id is None]
+        assert destaged, "checkpoints produced no destaging DMAs"
+
+    def test_checkpoint_bursts_are_paced(self):
+        trace = self.make_trace(checkpoint_interval_ms=2.0,
+                                checkpoint_spacing_us=40.0)
+        destaged = sorted(t.time for t in trace.transfers
+                          if t.source == SOURCE_DISK and not t.is_write
+                          and t.request_id is None)
+        spacing = 40.0 * 1.6e9 / 1e6
+        close_pairs = [b - a for a, b in zip(destaged, destaged[1:])
+                       if b - a < spacing * 1.5]
+        assert close_pairs, "no paced burst structure found"
+        for gap in close_pairs:
+            assert gap >= spacing * 0.99
+
+    def test_disabling_checkpoints(self):
+        with_cp = self.make_trace(checkpoint_interval_ms=2.0)
+        without = self.make_trace(checkpoint_interval_ms=0.0)
+        count = lambda t: sum(  # noqa: E731
+            1 for x in t.transfers
+            if x.source == SOURCE_DISK and not x.is_write)
+        assert count(with_cp) > count(without)
+
+    def test_no_double_flush(self):
+        """A page destaged by a checkpoint is clean; it must not be
+        flushed again unless re-written."""
+        trace = self.make_trace(checkpoint_interval_ms=2.0,
+                                write_fraction=0.05,
+                                rehit_probability=0.0)
+        destaged = [t.page for t in trace.transfers
+                    if t.source == SOURCE_DISK and not t.is_write
+                    and t.request_id is None]
+        # Some repeats are legitimate (page re-dirtied between
+        # checkpoints), but the trace cannot destage more often than
+        # pages were written.
+        writes = sum(1 for t in trace.transfers
+                     if t.source == "network" and t.is_write)
+        assert len(destaged) <= writes + 1

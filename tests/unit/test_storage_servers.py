@@ -1,0 +1,112 @@
+"""Units for the storage/database server trace generators."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.storage.database import DatabaseServer, DatabaseWorkloadParams
+from repro.storage.server import StorageServer, StorageWorkloadParams
+from repro.traces.records import DMATransfer, SOURCE_DISK, SOURCE_NETWORK
+from repro.traces.stats import characterize
+
+
+@pytest.fixture(scope="module")
+def storage_trace():
+    params = StorageWorkloadParams(duration_ms=10.0, warmup_requests=10_000)
+    return StorageServer(params, seed=1).generate()
+
+
+@pytest.fixture(scope="module")
+def database_trace():
+    params = DatabaseWorkloadParams(duration_ms=10.0)
+    return DatabaseServer(params, seed=2).generate()
+
+
+class TestStorageServer:
+    def test_rates_near_published(self, storage_trace):
+        stats = characterize(storage_trace)
+        # Published OLTP-St: 45 net/ms and 16.7 disk/ms; the substitute
+        # must land in the same regime.
+        assert 30 <= stats.net_transfers_per_ms <= 60
+        assert 5 <= stats.disk_transfers_per_ms <= 30
+
+    def test_no_processor_records(self, storage_trace):
+        """Storage servers do not touch the data (Section 2.1)."""
+        assert storage_trace.processor_bursts == []
+
+    def test_misses_produce_disk_then_network(self, storage_trace):
+        by_request: dict[int, list[DMATransfer]] = {}
+        for t in storage_trace.transfers:
+            if t.request_id is not None:
+                by_request.setdefault(t.request_id, []).append(t)
+        two_phase = [ts for ts in by_request.values() if len(ts) == 2]
+        assert two_phase, "no cache misses in the trace?"
+        for disk_t, net_t in two_phase:
+            assert disk_t.source == SOURCE_DISK and disk_t.is_write
+            assert net_t.source == SOURCE_NETWORK and not net_t.is_write
+            assert disk_t.time < net_t.time
+            assert disk_t.page == net_t.page
+
+    def test_popularity_skew_present(self, storage_trace):
+        stats = characterize(storage_trace)
+        assert stats.top20_access_fraction > 0.3
+
+    def test_clients_recorded(self, storage_trace):
+        assert storage_trace.clients
+        referenced = {t.request_id for t in storage_trace.transfers
+                      if t.request_id is not None}
+        assert referenced <= set(storage_trace.clients)
+
+    def test_records_clipped_to_duration(self, storage_trace):
+        assert all(r.time < storage_trace.duration_cycles * (1 + 1e-9)
+                   for r in storage_trace.records)
+
+    def test_metadata(self, storage_trace):
+        for key in ("generator", "seed", "cache_hit_ratio",
+                    "net_rate_per_ms", "disk_rate_per_ms"):
+            assert key in storage_trace.metadata
+
+    def test_determinism(self):
+        params = StorageWorkloadParams(duration_ms=2.0, warmup_requests=100)
+        a = StorageServer(params, seed=5).generate()
+        b = StorageServer(params, seed=5).generate()
+        assert a.records == b.records
+
+    def test_param_validation(self):
+        with pytest.raises(ConfigurationError):
+            StorageWorkloadParams(duration_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            StorageWorkloadParams(write_fraction=2.0)
+        with pytest.raises(ConfigurationError):
+            StorageWorkloadParams(rehit_probability=1.0)
+
+
+class TestDatabaseServer:
+    def test_rates_near_published(self, database_trace):
+        stats = characterize(database_trace)
+        # Published OLTP-Db: 100 net transfers/ms, 233 proc/transfer.
+        assert 80 <= stats.net_transfers_per_ms <= 120
+        assert 200 <= stats.proc_accesses_per_transfer <= 260
+
+    def test_no_disk_traffic(self, database_trace):
+        assert all(t.source == SOURCE_NETWORK
+                   for t in database_trace.transfers)
+
+    def test_bursts_surround_transfers(self, database_trace):
+        transfers = database_trace.transfers
+        bursts = database_trace.processor_bursts
+        assert bursts
+        first = transfers[0]
+        nearby = [b for b in bursts
+                  if abs(b.time - first.time) < 100_000.0]
+        assert nearby
+
+    def test_every_txn_has_client(self, database_trace):
+        assert len(database_trace.clients) == len(database_trace.transfers)
+
+    def test_param_validation(self):
+        with pytest.raises(ConfigurationError):
+            DatabaseWorkloadParams(proc_accesses_per_txn=-1)
+        with pytest.raises(ConfigurationError):
+            DatabaseWorkloadParams(during_transfer_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            DatabaseWorkloadParams(burst_size=0)

@@ -1,0 +1,102 @@
+"""Units for the sampling utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces.distributions import ZipfSampler, poisson_times, rank_permutation
+
+
+class TestZipf:
+    def test_samples_in_range(self):
+        rng = np.random.default_rng(0)
+        sampler = ZipfSampler(100, 1.0, rng)
+        samples = sampler.sample(10_000)
+        assert samples.min() >= 0
+        assert samples.max() < 100
+
+    def test_rank_zero_most_popular(self):
+        rng = np.random.default_rng(0)
+        sampler = ZipfSampler(1000, 1.0, rng)
+        samples = sampler.sample(50_000)
+        counts = np.bincount(samples, minlength=1000)
+        assert counts[0] == counts.max()
+
+    def test_alpha_zero_is_uniform(self):
+        rng = np.random.default_rng(0)
+        sampler = ZipfSampler(10, 0.0, rng)
+        samples = sampler.sample(100_000)
+        counts = np.bincount(samples, minlength=10)
+        assert counts.min() > 0.08 * 100_000
+
+    def test_analytic_cdf_alpha_one(self):
+        """Zipf(1) over 16384 pages: top 20% get ~85% of accesses."""
+        rng = np.random.default_rng(0)
+        sampler = ZipfSampler(16384, 1.0, rng)
+        assert sampler.access_fraction_of_top(0.2) == pytest.approx(
+            0.845, abs=0.01)
+
+    def test_alpha_07_matches_figure4(self):
+        """alpha ~ 0.7 reproduces the paper's 20% -> ~60% skew (Fig 4)."""
+        rng = np.random.default_rng(0)
+        sampler = ZipfSampler(16384, 0.7, rng)
+        share = sampler.access_fraction_of_top(0.2)
+        assert 0.55 < share < 0.68
+
+    def test_empirical_matches_analytic(self):
+        rng = np.random.default_rng(1)
+        sampler = ZipfSampler(500, 1.0, rng)
+        samples = sampler.sample(200_000)
+        top = int(0.2 * 500)
+        empirical = np.mean(samples < top)
+        assert empirical == pytest.approx(
+            sampler.access_fraction_of_top(0.2), abs=0.01)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(0, 1.0, rng)
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(10, -1.0, rng)
+        sampler = ZipfSampler(10, 1.0, rng)
+        with pytest.raises(ConfigurationError):
+            sampler.access_fraction_of_top(0.0)
+
+    def test_sample_zero(self):
+        rng = np.random.default_rng(0)
+        assert len(ZipfSampler(10, 1.0, rng).sample(0)) == 0
+
+
+class TestPoisson:
+    def test_times_sorted_in_range(self):
+        rng = np.random.default_rng(0)
+        times = poisson_times(0.01, 10_000.0, rng)
+        assert np.all(np.diff(times) >= 0)
+        assert times.min() >= 0
+        assert times.max() < 10_000.0
+
+    def test_expected_count(self):
+        rng = np.random.default_rng(0)
+        times = poisson_times(0.01, 1_000_000.0, rng)
+        assert len(times) == pytest.approx(10_000, rel=0.05)
+
+    def test_zero_rate(self):
+        rng = np.random.default_rng(0)
+        assert len(poisson_times(0.0, 1000.0, rng)) == 0
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            poisson_times(-1.0, 100.0, rng)
+
+
+class TestPermutation:
+    def test_is_permutation(self):
+        rng = np.random.default_rng(0)
+        perm = rank_permutation(100, rng)
+        assert sorted(perm) == list(range(100))
+
+    def test_seeded_determinism(self):
+        a = rank_permutation(50, np.random.default_rng(5))
+        b = rank_permutation(50, np.random.default_rng(5))
+        assert list(a) == list(b)

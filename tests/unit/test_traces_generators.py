@@ -1,0 +1,101 @@
+"""Units for the synthetic and OLTP trace front-ends."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces.oltp import oltp_database_trace, oltp_storage_trace
+from repro.traces.stats import characterize, popularity_cdf, top_fraction_access_share
+from repro.traces.synthetic import synthetic_database_trace, synthetic_storage_trace
+
+
+class TestSyntheticStorage:
+    def test_paper_recipe(self):
+        """Section 5.1: Zipf alpha=1 popularity, Poisson 100 transfers/ms."""
+        trace = synthetic_storage_trace(duration_ms=10.0, seed=4)
+        stats = characterize(trace)
+        assert stats.transfers_per_ms == pytest.approx(100.0, rel=0.15)
+        assert stats.proc_accesses_per_ms == 0.0
+        assert trace.metadata["zipf_alpha"] == 1.0
+
+    def test_intensity_knob(self):
+        low = synthetic_storage_trace(duration_ms=5.0, transfers_per_ms=25.0)
+        high = synthetic_storage_trace(duration_ms=5.0, transfers_per_ms=400.0)
+        assert len(high.transfers) > 10 * len(low.transfers)
+
+    def test_disk_fraction(self):
+        trace = synthetic_storage_trace(duration_ms=10.0, disk_fraction=0.27)
+        stats = characterize(trace)
+        share = stats.disk_transfers_per_ms / stats.transfers_per_ms
+        assert share == pytest.approx(0.27, abs=0.05)
+
+    def test_each_transfer_has_client(self):
+        trace = synthetic_storage_trace(duration_ms=2.0)
+        assert len(trace.clients) == len(trace.transfers)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_storage_trace(disk_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            synthetic_storage_trace(write_fraction=-0.1)
+
+
+class TestSyntheticDatabase:
+    def test_paper_recipe(self):
+        """100 transfers/ms with 100 proc accesses each = 10,000/ms."""
+        trace = synthetic_database_trace(duration_ms=10.0, seed=4)
+        stats = characterize(trace)
+        assert stats.transfers_per_ms == pytest.approx(100.0, rel=0.15)
+        assert stats.proc_accesses_per_transfer == pytest.approx(100.0, abs=2)
+
+    def test_proc_sweep_axis(self):
+        """The Figure 9 knob injects exact per-transfer access counts."""
+        for count in (0, 50, 500):
+            trace = synthetic_database_trace(
+                duration_ms=2.0, proc_accesses_per_transfer=count)
+            stats = characterize(trace)
+            assert stats.proc_accesses_per_transfer == pytest.approx(
+                count, abs=1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_database_trace(proc_accesses_per_transfer=-1)
+        with pytest.raises(ConfigurationError):
+            synthetic_database_trace(burst_size=0)
+
+
+class TestOLTPFrontends:
+    def test_storage_name_and_duration(self):
+        trace = oltp_storage_trace(duration_ms=5.0)
+        assert trace.name == "OLTP-St"
+        assert trace.duration_cycles == pytest.approx(5.0 * 1.6e6, rel=0.2)
+
+    def test_database_name(self):
+        trace = oltp_database_trace(duration_ms=5.0)
+        assert trace.name == "OLTP-Db"
+
+
+class TestStats:
+    def test_popularity_cdf_monotone(self):
+        trace = synthetic_storage_trace(duration_ms=5.0)
+        cdf = popularity_cdf(trace, points=20)
+        ys = [y for _, y in cdf]
+        assert ys == sorted(ys)
+        assert ys[-1] == pytest.approx(1.0)
+
+    def test_zipf1_more_skewed_than_uniformish(self):
+        skewed = synthetic_storage_trace(duration_ms=5.0, zipf_alpha=1.0)
+        flat = synthetic_storage_trace(duration_ms=5.0, zipf_alpha=0.1)
+        assert (top_fraction_access_share(skewed, 0.2)
+                > top_fraction_access_share(flat, 0.2))
+
+    def test_characterize_empty(self):
+        from repro.traces.trace import Trace
+
+        stats = characterize(Trace(name="empty"))
+        assert stats.transfers == 0
+        assert stats.top20_access_fraction == 0.0
+
+    def test_popularity_cdf_empty(self):
+        from repro.traces.trace import Trace
+
+        assert popularity_cdf(Trace(name="empty")) == []

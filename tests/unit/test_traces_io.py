@@ -1,0 +1,84 @@
+"""Units for trace serialisation."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.io import read_trace, write_trace
+from repro.traces.records import ClientRequest, DMATransfer, ProcessorBurst
+from repro.traces.trace import Trace
+
+
+@pytest.fixture
+def trace():
+    clients = {3: ClientRequest(request_id=3, arrival=5.0, base_cycles=77.0)}
+    records = [
+        DMATransfer(time=10.0, page=4, size_bytes=8192, source="disk",
+                    is_write=True, bus=1, request_id=3),
+        ProcessorBurst(time=20.0, page=9, count=16, window_cycles=100.0),
+        DMATransfer(time=30.0, page=5, size_bytes=512),
+    ]
+    return Trace(name="io-test", records=records, clients=clients,
+                 duration_cycles=500.0, metadata={"seed": 7, "alpha": 1.0})
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace(trace, path)
+        loaded = read_trace(path)
+        assert loaded.name == trace.name
+        assert loaded.duration_cycles == trace.duration_cycles
+        assert loaded.metadata == trace.metadata
+        assert loaded.records == trace.records
+        assert loaded.clients == trace.clients
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        write_trace(Trace(name="empty"), path)
+        loaded = read_trace(path)
+        assert loaded.name == "empty"
+        assert loaded.records == []
+
+
+class TestErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "dma", "time": 0, "page": 0, "size": 8}\n')
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+    def test_bad_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+    def test_bad_record(self, tmp_path, trace):
+        path = tmp_path / "bad.jsonl"
+        write_trace(trace, path)
+        with path.open("a") as handle:
+            handle.write("{broken\n")
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+    def test_unknown_kind(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"kind": "header", "version": 1, "name": "x", "duration": 0,'
+            ' "metadata": {}}\n{"kind": "mystery"}\n')
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"kind": "header", "version": 99, "name": "x", "duration": 0,'
+            ' "metadata": {}}\n')
+        with pytest.raises(TraceError):
+            read_trace(path)

@@ -1,0 +1,59 @@
+"""Units for trace record types."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.records import ClientRequest, DMATransfer, ProcessorBurst
+
+
+class TestDMATransfer:
+    def test_num_requests_8kb(self):
+        t = DMATransfer(time=0.0, page=0, size_bytes=8192)
+        assert t.num_requests(8) == 1024
+
+    def test_num_requests_sector(self):
+        """A 512-byte disk sector is 64 requests (the paper's example)."""
+        t = DMATransfer(time=0.0, page=0, size_bytes=512)
+        assert t.num_requests(8) == 64
+
+    def test_num_requests_rounds_up(self):
+        t = DMATransfer(time=0.0, page=0, size_bytes=10)
+        assert t.num_requests(8) == 2
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            DMATransfer(time=-1.0, page=0, size_bytes=8)
+        with pytest.raises(TraceError):
+            DMATransfer(time=0.0, page=-1, size_bytes=8)
+        with pytest.raises(TraceError):
+            DMATransfer(time=0.0, page=0, size_bytes=0)
+        with pytest.raises(TraceError):
+            DMATransfer(time=0.0, page=0, size_bytes=8, source="tape")
+        with pytest.raises(TraceError):
+            DMATransfer(time=0.0, page=0, size_bytes=8, bus=-1)
+
+    def test_frozen(self):
+        t = DMATransfer(time=0.0, page=0, size_bytes=8)
+        with pytest.raises(AttributeError):
+            t.page = 5
+
+
+class TestProcessorBurst:
+    def test_defaults(self):
+        b = ProcessorBurst(time=1.0, page=2)
+        assert b.count == 1
+        assert b.window_cycles == 0.0
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            ProcessorBurst(time=0.0, page=0, count=0)
+        with pytest.raises(TraceError):
+            ProcessorBurst(time=0.0, page=0, window_cycles=-1.0)
+
+
+class TestClientRequest:
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            ClientRequest(request_id=0, arrival=-1.0)
+        with pytest.raises(TraceError):
+            ClientRequest(request_id=0, arrival=0.0, base_cycles=-1.0)
