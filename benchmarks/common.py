@@ -6,9 +6,19 @@ simulations, not microbenchmarks), prints the regenerated rows/series,
 and archives them under ``benchmarks/results/`` so the EXPERIMENTS.md
 numbers can be traced to a run.
 
-``REPRO_BENCH_MS`` scales every trace's duration (default 25 ms). Longer
-traces amortise PL's one-time migration cost and sharpen every estimate,
-at a linear cost in wall-clock time.
+Simulation runs go through :mod:`repro.exec`: every run is memoised by
+its *content* key (trace bytes + canonical config + technique params),
+so all benches in one session share a single baseline run per (trace,
+config) pair, and a bench can prefetch its whole grid through the
+parallel executor. Knobs (see docs/EXECUTION.md):
+
+* ``REPRO_BENCH_MS`` — trace duration in ms (default 25). Longer traces
+  amortise PL's one-time migration cost and sharpen every estimate, at a
+  linear cost in wall-clock time.
+* ``REPRO_BENCH_JOBS`` — worker processes for prefetched grids
+  (default 1 = serial).
+* ``REPRO_BENCH_CACHE`` — set to 1 to persist results in the on-disk
+  cache (``$REPRO_CACHE_DIR`` or ``.repro_cache/``) across sessions.
 """
 
 from __future__ import annotations
@@ -16,8 +26,8 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
-from repro import simulate
 from repro.config import SimulationConfig
+from repro.exec import ResultCache, SimJob, run_many
 from repro.sim.results import SimulationResult
 from repro.traces.oltp import oltp_database_trace, oltp_storage_trace
 from repro.traces.synthetic import synthetic_database_trace, synthetic_storage_trace
@@ -28,11 +38,21 @@ RESULTS_DIR = Path(__file__).parent / "results"
 #: Trace duration for every bench, in milliseconds.
 BENCH_MS = float(os.environ.get("REPRO_BENCH_MS", "25"))
 
+#: Worker processes used by :func:`prefetch_grid` (1 = serial).
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+#: Whether bench runs persist results in the on-disk cache.
+BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE", "0").lower() not in (
+    "", "0", "no", "false")
+
 #: The CP-Limit grid of Figures 5 and 7.
 CP_LIMITS = (0.02, 0.05, 0.10, 0.20, 0.30)
 
 _TRACE_CACHE: dict[str, Trace] = {}
-_RUN_CACHE: dict[tuple, SimulationResult] = {}
+#: In-session result memo, keyed by content (SimJob.key()).
+_RUN_CACHE: dict[str, SimulationResult] = {}
+#: The shared on-disk cache (None when REPRO_BENCH_CACHE is off).
+DISK_CACHE: ResultCache | None = ResultCache() if BENCH_CACHE else None
 
 
 def get_trace(name: str, **overrides) -> Trace:
@@ -54,16 +74,58 @@ def get_trace(name: str, **overrides) -> Trace:
     return _TRACE_CACHE[key]
 
 
+def _require(outcomes) -> None:
+    failed = [o for o in outcomes if not o.ok]
+    if failed:
+        details = "; ".join(
+            f"{o.job.technique}[{o.job.tag}]: {o.error}" for o in failed)
+        raise RuntimeError(f"{len(failed)} bench run(s) failed: {details}")
+
+
 def run_cached(trace: Trace, technique: str,
                config: SimulationConfig | None = None,
                cp_limit: float | None = None,
                label: str | None = None) -> SimulationResult:
-    """Run a simulation once per unique (trace, technique, cp, config)."""
-    key = (id(trace), technique, cp_limit, label or "")
+    """Run a simulation once per unique content (trace, config, params).
+
+    ``label`` is carried as a job tag for error messages only — unlike
+    the old identity-based memo, the content key already distinguishes
+    every input that matters (including the config).
+    """
+    job = SimJob(trace, technique, config=config, cp_limit=cp_limit,
+                 tag=label or "")
+    key = job.key()
     if key not in _RUN_CACHE:
-        _RUN_CACHE[key] = simulate(trace, config=config,
-                                   technique=technique, cp_limit=cp_limit)
+        outcomes = run_many([job], cache=DISK_CACHE)
+        _require(outcomes)
+        _RUN_CACHE[key] = outcomes[0].result
     return _RUN_CACHE[key]
+
+
+def prefetch_grid(traces, techniques, cp_limits,
+                  config: SimulationConfig | None = None) -> None:
+    """Warm the memo for a whole (trace x technique x CP-Limit) grid.
+
+    Builds one baseline job per trace plus one job per grid point and
+    executes them through :func:`repro.exec.run_many` with
+    ``REPRO_BENCH_JOBS`` workers and the shared on-disk cache. Later
+    :func:`run_cached` calls for the same points are memo hits, so
+    benches keep their serial-looking bodies while the heavy lifting
+    runs in parallel.
+    """
+    jobs = []
+    for trace in traces:
+        jobs.append(SimJob(trace, "baseline", config=config,
+                           tag=f"{trace.name}:baseline"))
+        for technique in techniques:
+            for cp in cp_limits:
+                jobs.append(SimJob(trace, technique, config=config,
+                                   cp_limit=cp,
+                                   tag=f"{trace.name}:cp={cp:g}"))
+    outcomes = run_many(jobs, max_workers=BENCH_JOBS, cache=DISK_CACHE)
+    _require(outcomes)
+    for outcome in outcomes:
+        _RUN_CACHE[outcome.key] = outcome.result
 
 
 def save_report(name: str, text: str) -> None:

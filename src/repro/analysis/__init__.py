@@ -5,7 +5,7 @@ from repro.analysis.metrics import (
     breakdown_fractions,
     utilization_series,
 )
-from repro.analysis.sweep import SweepPoint, sweep_cp_limit, run_pair
+from repro.analysis.sweep import SweepPoint, sweep_cp_limit, sweep_errors, run_pair
 from repro.analysis.tables import format_table, format_series, format_breakdown
 from repro.analysis.charts import bar_chart, line_chart, savings_chart
 from repro.analysis.timeline import activity_share, render_heatmap
@@ -21,6 +21,7 @@ __all__ = [
     "utilization_series",
     "SweepPoint",
     "sweep_cp_limit",
+    "sweep_errors",
     "run_pair",
     "format_table",
     "format_series",

@@ -88,6 +88,15 @@ def build_parser() -> argparse.ArgumentParser:
                        default="dma-ta-pl")
     sweep.add_argument("--cp-limits", default="0.02,0.05,0.1,0.2,0.3",
                        help="comma-separated CP-Limit list")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the sweep (1 = serial)")
+    sweep.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                       default=False,
+                       help="read/write the on-disk result cache "
+                            "(--no-cache bypasses it; the default)")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="cache directory (default: $REPRO_CACHE_DIR "
+                            "or .repro_cache)")
 
     calibrate = commands.add_parser(
         "calibrate", help="show the mu a CP-Limit translates to")
@@ -179,21 +188,34 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    from repro.analysis.sweep import sweep_cp_limit, sweep_errors
+    from repro.exec import ResultCache
+
     try:
         cp_limits = [float(x) for x in args.cp_limits.split(",") if x]
     except ValueError as exc:
         raise ReproError(f"bad --cp-limits list: {exc}") from exc
     if not cp_limits:
         raise ReproError("empty --cp-limits list")
+    if args.jobs < 1:
+        raise ReproError("--jobs must be at least 1")
     trace = read_trace(args.trace)
-    baseline = simulate(trace, technique="baseline")
-    points = {}
-    for cp in cp_limits:
-        result = simulate(trace, technique=args.technique, cp_limit=cp)
-        points[cp] = result.energy_savings_vs(baseline)
-    print(savings_chart(points,
-                        title=f"{trace.name}: {args.technique} savings "
-                              f"vs CP-Limit"))
+    cache = ResultCache(root=args.cache_dir) if args.cache else None
+    points = sweep_cp_limit(trace, cp_limits, [args.technique],
+                            max_workers=args.jobs, cache=cache)
+    chart = {p.x: p.savings for p in points if p.ok}
+    if chart:
+        print(savings_chart(chart,
+                            title=f"{trace.name}: {args.technique} savings "
+                                  f"vs CP-Limit"))
+    if cache is not None:
+        stats = cache.stats
+        print(f"cache: {stats.hits} hits, {stats.misses} misses, "
+              f"{stats.stores} stores ({cache.root})")
+    failures = sweep_errors(points)
+    if failures:
+        print(failures, file=sys.stderr)
+        return 1
     return 0
 
 

@@ -14,8 +14,13 @@ defaults reproduce the paper's evaluation platform (Section 5.1):
 
 from __future__ import annotations
 
+import dataclasses
+import enum
+import hashlib
+import json
 import math
 from dataclasses import dataclass, field, replace
+from typing import Mapping
 
 from repro import units
 from repro.errors import ConfigurationError
@@ -223,6 +228,37 @@ class PopularityLayoutConfig:
             raise ConfigurationError("translation table must be non-empty")
 
 
+def canonical_value(obj: object) -> object:
+    """Recursively encode ``obj`` into JSON-able primitives, canonically.
+
+    The encoding is the identity notion behind the :mod:`repro.exec`
+    result cache: dataclasses become ``{"__type__": ClassName, **fields}``
+    dicts (so two different policy classes with identical fields never
+    collide), enums become their values, floats keep full precision via
+    ``repr``, and mappings are emitted with stringified keys (JSON sorts
+    them at dump time). Unknown object types are rejected rather than
+    silently hashed by address.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return repr(obj)
+    if isinstance(obj, enum.Enum):
+        return canonical_value(obj.value)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        encoded: dict = {"__type__": type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            encoded[f.name] = canonical_value(getattr(obj, f.name))
+        return encoded
+    if isinstance(obj, (list, tuple)):
+        return [canonical_value(item) for item in obj]
+    if isinstance(obj, Mapping):
+        return {str(key): canonical_value(value)
+                for key, value in obj.items()}
+    raise ConfigurationError(
+        f"cannot canonicalize {type(obj).__name__!r} for cache hashing")
+
+
 #: Valid initial page-placement strategies.
 BASE_LAYOUTS = ("random", "sequential", "interleaved")
 
@@ -314,6 +350,24 @@ class SimulationConfig:
         """The paper's ``T``: mean request service time with no alignment
         and no power management — the chip-serve time of one request."""
         return self.serve_cycles
+
+    # --- canonical identity ----------------------------------------------
+
+    def canonical_dict(self) -> dict:
+        """A JSON-able dict that fully determines this configuration.
+
+        Two configs with the same canonical dict produce identical
+        simulations. Used by :mod:`repro.exec` to build stable,
+        restart-proof cache keys; see :func:`canonical_value` for the
+        encoding rules.
+        """
+        return canonical_value(self)
+
+    def fingerprint(self) -> str:
+        """A stable hex digest of :meth:`canonical_dict`."""
+        payload = json.dumps(self.canonical_dict(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def with_mu(self, mu: float) -> "SimulationConfig":
         """A copy with the DMA-TA degradation parameter replaced."""

@@ -1,0 +1,37 @@
+"""Parallel, cached sweep execution.
+
+The figure sweeps are embarrassingly parallel — every point is one
+independent :func:`repro.simulate` call — and highly redundant — every
+technique point compares against the same baseline run. This package
+exploits both properties:
+
+* :class:`SimJob` / :func:`run_many` — declarative job specs fanned out
+  over a process pool with eager validation, content-keyed
+  deduplication, per-job timeouts, and graceful serial fallback;
+* :class:`ResultCache` — a content-addressed on-disk cache under
+  ``.repro_cache/`` (``$REPRO_CACHE_DIR``) that makes repeated sweeps
+  and shared baselines nearly free across processes and sessions.
+
+See ``docs/EXECUTION.md`` for the full story.
+"""
+
+from repro.exec.cache import (
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
+    CacheStats,
+    ResultCache,
+)
+from repro.exec.jobs import CACHE_SCHEMA_VERSION, SimJob, validate_jobs
+from repro.exec.runner import JobOutcome, run_many
+
+__all__ = [
+    "SimJob",
+    "validate_jobs",
+    "JobOutcome",
+    "run_many",
+    "ResultCache",
+    "CacheStats",
+    "CACHE_DIR_ENV",
+    "DEFAULT_CACHE_DIR",
+    "CACHE_SCHEMA_VERSION",
+]

@@ -1,0 +1,177 @@
+"""Content-addressed on-disk cache of simulation results.
+
+Entries are pickled :class:`~repro.sim.results.SimulationResult` objects
+stored under ``<root>/<key[:2]>/<key>.pkl``, where ``key`` is the
+:meth:`repro.exec.jobs.SimJob.key` digest — a hash of the trace content,
+the canonical configuration, the technique parameters, and the code
+version. That makes hits valid by construction: any input change, or a
+package version bump, changes the key and the old entry simply stops
+being found.
+
+Invalidation rules:
+
+* a corrupted or truncated entry is treated as a **miss** (and removed),
+  never an error;
+* ``max_entries`` evicts least-recently-used entries (by file mtime;
+  hits re-touch their entry) after each store;
+* :meth:`ResultCache.clear` wipes the cache directory.
+
+The default location is ``.repro_cache/`` in the working directory,
+overridable with the ``REPRO_CACHE_DIR`` environment variable or the
+``root`` argument.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.sim.results import SimulationResult
+
+#: Environment variable naming the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    corrupt: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "evictions": self.evictions,
+                "corrupt": self.corrupt}
+
+
+@dataclass
+class ResultCache:
+    """A directory of pickled simulation results, keyed by content.
+
+    Attributes:
+        root: cache directory; ``None`` resolves ``$REPRO_CACHE_DIR`` and
+            falls back to ``.repro_cache/``.
+        max_entries: soft capacity; least-recently-used entries beyond it
+            are evicted after each store (``None`` = unbounded).
+    """
+
+    root: str | Path | None = None
+    max_entries: int | None = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.root is None:
+            self.root = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+        self.root = Path(self.root)
+
+    # --- paths -----------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (whether or not it exists)."""
+        return Path(self.root) / key[:2] / f"{key}.pkl"
+
+    # --- operations ------------------------------------------------------
+
+    def get(self, key: str) -> SimulationResult | None:
+        """The cached result for ``key``, or ``None`` on a miss.
+
+        A present-but-unreadable entry (truncated write, foreign bytes,
+        unpicklable payload) counts as corrupt: it is deleted and
+        reported as a miss.
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as handle:
+                result = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        if not isinstance(result, SimulationResult):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        try:
+            os.utime(path)  # refresh LRU position
+        except OSError:
+            pass
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Store ``result`` under ``key`` atomically (write + rename)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        self._evict()
+
+    def _entries(self) -> list[Path]:
+        root = Path(self.root)
+        if not root.is_dir():
+            return []
+        return list(root.glob("??/*.pkl"))
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def _evict(self) -> None:
+        if self.max_entries is None:
+            return
+        entries = self._entries()
+        excess = len(entries) - self.max_entries
+        if excess <= 0:
+            return
+        def mtime(path: Path) -> float:
+            try:
+                return path.stat().st_mtime
+            except OSError:
+                return 0.0
+        for path in sorted(entries, key=mtime)[:excess]:
+            try:
+                path.unlink()
+                self.stats.evictions += 1
+            except OSError:
+                pass
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        for path in self._entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,97 @@
+"""Job specifications for the sweep executor.
+
+A :class:`SimJob` is one fully-specified :func:`repro.simulate` call —
+trace, configuration, technique, technique parameters, engine, and seed
+— as inert data. Jobs exist so that sweeps can be validated eagerly,
+deduplicated, dispatched to worker processes, and cached by content
+rather than by object identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.config import SimulationConfig
+from repro.sim.run import validate_simulation_args
+from repro.traces.trace import Trace
+
+#: Bump when the meaning of a cached result changes without the package
+#: version changing (result schema tweaks, canonicalisation fixes, ...).
+CACHE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation to run.
+
+    Attributes:
+        trace: the input trace.
+        technique: technique name (see :data:`repro.sim.run.TECHNIQUES`).
+        config: platform configuration; ``None`` means the paper default.
+        engine: ``"fluid"`` or ``"precise"``.
+        mu: raw DMA-TA degradation parameter (exclusive with cp_limit).
+        cp_limit: client-perceived degradation limit (exclusive with mu).
+        seed: page-layout seed.
+        tag: free-form caller label carried through to the outcome;
+            NOT part of the job identity or cache key.
+    """
+
+    trace: Trace
+    technique: str = "baseline"
+    config: SimulationConfig | None = None
+    engine: str = "fluid"
+    mu: float | None = None
+    cp_limit: float | None = None
+    seed: int = 0
+    tag: str = field(default="", compare=False)
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.ConfigurationError` on a bad spec.
+
+        Runs the same checks :func:`repro.simulate` would, plus config
+        construction, so errors surface in the submitting process before
+        any worker is involved.
+        """
+        validate_simulation_args(self.technique, self.engine,
+                                 mu=self.mu, cp_limit=self.cp_limit)
+        config = self.config or SimulationConfig()
+        if self.mu is not None:
+            config.with_mu(self.mu)  # triggers alignment-config validation
+
+    def key(self) -> str:
+        """The content-addressed identity of this job.
+
+        Stable across processes and machine restarts: built from the
+        trace content digest, the canonical configuration dict, the
+        technique parameters, and the code/schema version. Anything that
+        could change the simulation output is in here; ``tag`` is not.
+        """
+        from repro import __version__
+
+        config = self.config or SimulationConfig()
+        payload = json.dumps({
+            "schema": CACHE_SCHEMA_VERSION,
+            "version": __version__,
+            "trace": self.trace.fingerprint(),
+            "config": config.canonical_dict(),
+            "technique": self.technique,
+            "engine": self.engine,
+            "mu": repr(self.mu),
+            "cp_limit": repr(self.cp_limit),
+            "seed": self.seed,
+        }, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def validate_jobs(jobs: list[SimJob] | tuple[SimJob, ...]) -> None:
+    """Validate every job spec eagerly, before any dispatch."""
+    for index, job in enumerate(jobs):
+        try:
+            job.validate()
+        except Exception as exc:
+            exc.args = (f"job {index} ({job.technique!r}"
+                        f"{f', tag={job.tag!r}' if job.tag else ''}): "
+                        f"{exc}",)
+            raise

@@ -1,0 +1,222 @@
+"""The parallel sweep executor.
+
+:func:`run_many` takes a list of :class:`~repro.exec.jobs.SimJob` specs
+and returns one :class:`JobOutcome` per job, **in input order**, no
+matter how execution was scheduled. The pipeline is:
+
+1. **validate** every spec eagerly (bad jobs raise
+   :class:`~repro.errors.ConfigurationError` in the submitting process,
+   before anything runs);
+2. **deduplicate** by content key, so e.g. a shared baseline run appears
+   once in the work list however many sweep points reference it;
+3. **probe the cache** (when one is given) for each unique key;
+4. **execute** the remaining jobs — serially, or fanned out over a
+   ``concurrent.futures.ProcessPoolExecutor`` when ``max_workers > 1``;
+5. **store** fresh results back into the cache.
+
+Failure containment: an exception raised inside one job is captured on
+that job's outcome (``error``) and every other job still completes. A
+*pool* failure — a broken worker process, an unpicklable payload, or an
+environment where processes cannot be spawned at all — degrades
+gracefully: the affected and remaining jobs are re-run serially in the
+submitting process instead.
+
+A per-job ``timeout_s`` bounds how long the submitter waits for each
+parallel job; a timed-out job is marked failed and its eventual result
+is abandoned (the worker process itself is not killed mid-task).
+Timeouts apply to pool execution only — the serial path runs each job
+to completion.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import pickle
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.exec.cache import ResultCache
+from repro.exec.jobs import SimJob, validate_jobs
+from repro.sim.results import SimulationResult
+from repro.sim.run import simulate
+
+#: Exceptions that indict the pool machinery rather than the job itself;
+#: jobs failing this way are retried serially in-process. AttributeError
+#: and TypeError are how pickle reports an unshippable payload (local
+#: function, closure, lock, ...); a genuine in-worker error of those
+#: types just gets one redundant serial retry with the same outcome.
+_POOL_FAILURES = (BrokenProcessPool, pickle.PicklingError, OSError,
+                  AttributeError, TypeError)
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one job.
+
+    Attributes:
+        job: the submitted spec.
+        key: the job's content key (shared by deduplicated jobs).
+        result: the simulation result, or ``None`` if the job failed.
+        error: ``None`` on success, else a one-line failure description.
+        from_cache: the result was loaded from the on-disk cache rather
+            than computed in this call.
+    """
+
+    job: SimJob
+    key: str
+    result: SimulationResult | None = None
+    error: str | None = None
+    from_cache: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.result is not None
+
+
+def _execute(job: SimJob) -> SimulationResult:
+    """The worker body: one fully-specified simulate() call."""
+    return simulate(job.trace, config=job.config, technique=job.technique,
+                    engine=job.engine, mu=job.mu, cp_limit=job.cp_limit,
+                    seed=job.seed)
+
+
+def _describe(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def run_many(
+    jobs: Iterable[SimJob],
+    max_workers: int | None = None,
+    cache: ResultCache | None = None,
+    timeout_s: float | None = None,
+    worker: Callable[[SimJob], SimulationResult] | None = None,
+) -> list[JobOutcome]:
+    """Run many simulations, possibly in parallel, possibly cached.
+
+    Args:
+        jobs: the job specs; the returned list matches their order.
+        max_workers: process-pool width; ``None`` or ``1`` runs serially
+            in this process (deterministic and dependency-free), ``> 1``
+            fans unique jobs out over worker processes.
+        cache: optional :class:`~repro.exec.cache.ResultCache`; hits skip
+            execution entirely and fresh results are stored back. ``None``
+            disables all cache reads **and** writes.
+        timeout_s: per-job wait bound for pool execution (see module
+            docstring); ``None`` waits indefinitely.
+        worker: override of the job body, mainly for fault-injection
+            tests; must be picklable for pool execution (a module-level
+            function). Defaults to running :func:`repro.simulate`.
+
+    Returns:
+        One :class:`JobOutcome` per input job, in input order. Identical
+        jobs (same content key) are computed once and share a result.
+
+    Raises:
+        ConfigurationError: if any job spec is invalid (raised before
+            any job runs).
+    """
+    jobs = list(jobs)
+    validate_jobs(jobs)
+    worker = worker or _execute
+
+    keys = [job.key() for job in jobs]
+    order: list[str] = []  # unique keys, first-appearance order
+    first_job: dict[str, SimJob] = {}
+    for job, key in zip(jobs, keys):
+        if key not in first_job:
+            first_job[key] = job
+            order.append(key)
+
+    results: dict[str, SimulationResult] = {}
+    errors: dict[str, str] = {}
+    cached: set[str] = set()
+
+    if cache is not None:
+        for key in order:
+            hit = cache.get(key)
+            if hit is not None:
+                results[key] = hit
+                cached.add(key)
+
+    pending = [key for key in order if key not in results]
+
+    def run_serially(key: str) -> None:
+        try:
+            results[key] = worker(first_job[key])
+        except Exception as exc:
+            errors[key] = _describe(exc)
+
+    if len(pending) <= 1 or not max_workers or max_workers <= 1:
+        for key in pending:
+            run_serially(key)
+    else:
+        _run_pool(pending, first_job, worker,
+                  min(max_workers, len(pending)), timeout_s,
+                  results, errors, run_serially)
+
+    if cache is not None:
+        for key in pending:
+            if key in results:
+                cache.put(key, results[key])
+
+    outcomes = []
+    for job, key in zip(jobs, keys):
+        outcomes.append(JobOutcome(
+            job=job, key=key,
+            result=results.get(key),
+            error=errors.get(key),
+            from_cache=key in cached,
+        ))
+    return outcomes
+
+
+def _run_pool(
+    pending: Sequence[str],
+    first_job: dict[str, SimJob],
+    worker: Callable[[SimJob], SimulationResult],
+    max_workers: int,
+    timeout_s: float | None,
+    results: dict[str, SimulationResult],
+    errors: dict[str, str],
+    run_serially: Callable[[str], None],
+) -> None:
+    """Fan ``pending`` out over a process pool, filling results/errors.
+
+    Any pool-machinery failure (see :data:`_POOL_FAILURES`) downgrades
+    the affected and remaining jobs to the serial path.
+    """
+    try:
+        executor = concurrent.futures.ProcessPoolExecutor(
+            max_workers=max_workers)
+    except _POOL_FAILURES + (RuntimeError,):
+        for key in pending:
+            run_serially(key)
+        return
+
+    pool_broken = False
+    with executor:
+        try:
+            futures = {key: executor.submit(worker, first_job[key])
+                       for key in pending}
+        except _POOL_FAILURES:
+            for key in pending:
+                run_serially(key)
+            return
+        for key in pending:
+            if pool_broken:
+                run_serially(key)
+                continue
+            try:
+                results[key] = futures[key].result(timeout=timeout_s)
+            except concurrent.futures.TimeoutError:
+                errors[key] = (f"timed out after {timeout_s:g}s "
+                               "(result abandoned)")
+                futures[key].cancel()
+            except _POOL_FAILURES:
+                pool_broken = True
+                run_serially(key)
+            except Exception as exc:
+                errors[key] = _describe(exc)
+        if pool_broken:
+            executor.shutdown(wait=False, cancel_futures=True)

@@ -12,6 +12,31 @@ TECHNIQUES = ("nopm", "baseline", "dma-ta", "pl", "dma-ta-pl")
 ENGINES = ("fluid", "precise")
 
 
+def validate_simulation_args(
+    technique: str,
+    engine: str = "fluid",
+    mu: float | None = None,
+    cp_limit: float | None = None,
+) -> None:
+    """Check simulation arguments without running anything.
+
+    :func:`simulate` calls this itself; :mod:`repro.exec` calls it before
+    dispatching jobs to worker processes so that a bad job spec fails in
+    the submitting process (with a clean :class:`ConfigurationError`)
+    rather than deep inside a pool worker.
+    """
+    if technique not in TECHNIQUES:
+        raise ConfigurationError(
+            f"unknown technique {technique!r}; expected one of {TECHNIQUES}")
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if mu is not None and cp_limit is not None:
+        raise ConfigurationError("pass either mu or cp_limit, not both")
+    if mu is not None and mu < 0:
+        raise ConfigurationError("mu must be non-negative")
+
+
 def simulate(
     trace: Trace,
     config: SimulationConfig | None = None,
@@ -44,14 +69,7 @@ def simulate(
     Returns:
         The :class:`~repro.sim.results.SimulationResult`.
     """
-    if technique not in TECHNIQUES:
-        raise ConfigurationError(
-            f"unknown technique {technique!r}; expected one of {TECHNIQUES}")
-    if engine not in ENGINES:
-        raise ConfigurationError(
-            f"unknown engine {engine!r}; expected one of {ENGINES}")
-    if mu is not None and cp_limit is not None:
-        raise ConfigurationError("pass either mu or cp_limit, not both")
+    validate_simulation_args(technique, engine, mu=mu, cp_limit=cp_limit)
 
     config = config or SimulationConfig()
     if cp_limit is not None:

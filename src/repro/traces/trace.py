@@ -106,6 +106,36 @@ class Trace:
             metadata={"merged_from": [self.name, other.name]},
         )
 
+    def fingerprint(self) -> str:
+        """A stable hex digest of the full trace content.
+
+        Hashes the canonical JSONL serialisation (header, clients,
+        records — see :mod:`repro.traces.io`), so the digest survives a
+        write/read round-trip and process restarts. Two traces with the
+        same digest drive byte-identical simulations; :mod:`repro.exec`
+        uses this as the trace component of its cache keys.
+
+        Memoised on first use: traces are value objects whose records
+        are never mutated after construction (every transformation —
+        ``clipped``, ``merged_with``, :mod:`repro.traces.transform` —
+        returns a new Trace), so the digest cannot go stale.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is not None:
+            return cached
+
+        import hashlib
+        import io as _io
+
+        from repro.traces.io import _write_stream
+
+        buffer = _io.StringIO()
+        _write_stream(self, buffer)
+        digest = hashlib.sha256(
+            buffer.getvalue().encode("utf-8")).hexdigest()
+        self.__dict__["_fingerprint"] = digest
+        return digest
+
     # --- summary -----------------------------------------------------------
 
     def transfer_rate_per_ms(self, frequency_hz: float) -> float:

@@ -1,0 +1,88 @@
+"""Property: parallel, cached execution is invisible in the results.
+
+For arbitrary small traces and job lists, ``run_many`` must return
+results exactly equal — field for field — to direct serial
+:func:`repro.simulate` calls, for every pool width, with the cache cold
+and warm. This is the contract that lets the benches fan out and cache
+without changing a single archived number.
+"""
+
+import dataclasses
+import tempfile
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import simulate
+from repro.config import BusConfig, MemoryConfig, SimulationConfig
+from repro.exec import ResultCache, SimJob, run_many
+from repro.traces.records import DMATransfer
+from repro.traces.trace import Trace
+
+MB = 1 << 20
+
+CONFIG = SimulationConfig(
+    memory=MemoryConfig(num_chips=4, chip_bytes=MB, page_bytes=8192),
+    buses=BusConfig(count=3),
+)
+
+transfers = st.builds(
+    DMATransfer,
+    time=st.floats(min_value=0.0, max_value=100_000.0),
+    page=st.integers(min_value=0, max_value=63),
+    size_bytes=st.sampled_from([512, 8192]),
+    source=st.sampled_from(["network", "disk"]),
+)
+
+specs = st.tuples(
+    st.sampled_from(["baseline", "dma-ta", "pl", "dma-ta-pl"]),
+    st.one_of(st.none(), st.floats(min_value=0.0, max_value=20.0)),
+    st.integers(min_value=0, max_value=3),
+)
+
+
+def _same(a, b) -> bool:
+    return dataclasses.asdict(a) == dataclasses.asdict(b)
+
+
+@given(records=st.lists(transfers, min_size=1, max_size=6),
+       job_specs=st.lists(specs, min_size=1, max_size=3))
+@settings(max_examples=5, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_run_many_equals_serial_all_widths(records, job_specs):
+    trace = Trace(name="prop", records=list(records),
+                  duration_cycles=150_000.0)
+    jobs = [SimJob(trace, technique, config=CONFIG, mu=mu, seed=seed)
+            for technique, mu, seed in job_specs]
+    serial = [simulate(trace, config=CONFIG, technique=j.technique,
+                       mu=j.mu, seed=j.seed) for j in jobs]
+
+    for workers in (1, 2, 4):
+        with tempfile.TemporaryDirectory() as root:
+            cache = ResultCache(root=root)
+            cold = run_many(jobs, max_workers=workers, cache=cache)
+            assert all(o.ok for o in cold)
+            assert not any(o.from_cache for o in cold)
+            for outcome, reference in zip(cold, serial):
+                assert _same(outcome.result, reference)
+
+            warm = run_many(jobs, max_workers=workers, cache=cache)
+            assert all(o.ok and o.from_cache for o in warm)
+            for outcome, reference in zip(warm, serial):
+                assert _same(outcome.result, reference)
+            assert cache.stats.corrupt == 0
+
+
+@given(records=st.lists(transfers, min_size=1, max_size=6))
+@settings(max_examples=5, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_no_cache_never_touches_disk(records):
+    trace = Trace(name="prop", records=list(records),
+                  duration_cycles=150_000.0)
+    jobs = [SimJob(trace, "baseline", config=CONFIG),
+            SimJob(trace, "dma-ta", config=CONFIG, mu=2.0)]
+    with tempfile.TemporaryDirectory() as root:
+        outcomes = run_many(jobs, cache=None)
+        assert all(o.ok for o in outcomes)
+        cache = ResultCache(root=root)
+        assert len(cache) == 0
+        assert all(cache.get(o.key) is None for o in outcomes)

@@ -5,6 +5,7 @@ import pytest
 from repro.analysis.metrics import breakdown_fractions, energy_savings
 from repro.analysis.tables import format_breakdown, format_series, format_table
 from repro.analysis.sweep import run_pair, sweep_cp_limit
+from repro.errors import ConfigurationError
 from repro.energy.accounting import EnergyBreakdown, TimeBreakdown
 from repro.sim.results import SimulationResult
 from repro.traces.records import ClientRequest, DMATransfer
@@ -91,3 +92,23 @@ class TestSweep:
         assert len(points) == 2
         assert points[0].baseline is points[1].baseline
         assert points[0].x == 0.05
+        assert all(p.ok and p.error is None for p in points)
+
+    def test_run_pair_rejects_cp_limit_and_mu_eagerly(self, monkeypatch):
+        """Regression: the contradiction used to surface only inside the
+        technique run, after a wasted baseline simulation (and, under
+        pool execution, inside a worker process)."""
+        import repro.analysis.sweep as sweep_module
+
+        calls = []
+
+        def counting_simulate(*args, **kwargs):
+            calls.append(kwargs.get("technique"))
+            raise AssertionError("simulate must not run for a bad spec")
+
+        monkeypatch.setattr(sweep_module, "simulate", counting_simulate)
+        with pytest.raises(ConfigurationError,
+                           match="either mu or cp_limit"):
+            run_pair(tiny_trace(), tiny_config(), "dma-ta",
+                     cp_limit=0.10, mu=2.0)
+        assert calls == [], "no simulation may start before validation"

@@ -95,6 +95,41 @@ class TestCompareAndSweep:
         assert main(["sweep", str(trace_file),
                      "--cp-limits", "abc"]) == 2
 
+    def test_sweep_bad_jobs(self, trace_file, capsys):
+        assert main(["sweep", str(trace_file), "--jobs", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_sweep_parallel_jobs(self, trace_file, capsys):
+        assert main(["sweep", str(trace_file), "--cp-limits", "0.05,0.2",
+                     "--technique", "dma-ta", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "0.05" in out and "0.2" in out
+
+    def test_sweep_cache_cold_then_warm(self, trace_file, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        argv = ["sweep", str(trace_file), "--cp-limits", "0.05",
+                "--technique", "dma-ta", "--cache",
+                "--cache-dir", str(cache_dir)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "0 hits" in cold and "2 stores" in cold
+        assert cache_dir.is_dir()
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "2 hits" in warm and "0 stores" in warm
+        # Identical numbers either way (all but the cache-stats line).
+        assert cold.splitlines()[:2] == warm.splitlines()[:2]
+
+    def test_sweep_no_cache_writes_nothing(self, trace_file, tmp_path,
+                                           capsys, monkeypatch):
+        from repro.exec.cache import CACHE_DIR_ENV
+
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "cache"))
+        assert main(["sweep", str(trace_file), "--cp-limits", "0.05",
+                     "--technique", "dma-ta", "--no-cache"]) == 0
+        assert not (tmp_path / "cache").exists()
+        assert "cache:" not in capsys.readouterr().out
+
 
 class TestCalibrate:
     def test_prints_mu(self, trace_file, capsys):

@@ -1,0 +1,172 @@
+"""Units for the content-addressed result cache and job keys."""
+
+import os
+import pickle
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.config import BusConfig, MemoryConfig, SimulationConfig
+from repro.errors import ConfigurationError
+from repro.exec import ResultCache, SimJob, run_many
+from repro.exec.cache import CACHE_DIR_ENV
+from repro.traces.io import write_trace
+from repro.traces.records import DMATransfer
+from repro.traces.trace import Trace
+
+MB = 1 << 20
+
+
+def tiny_trace(shift: float = 0.0) -> Trace:
+    records = [DMATransfer(time=1000.0 + shift, page=3, size_bytes=8192),
+               DMATransfer(time=5000.0, page=7, size_bytes=8192)]
+    return Trace(name="tiny", records=records, duration_cycles=100_000.0)
+
+
+def tiny_config(chips: int = 4) -> SimulationConfig:
+    return SimulationConfig(
+        memory=MemoryConfig(num_chips=chips, chip_bytes=MB, page_bytes=8192),
+        buses=BusConfig(count=3))
+
+
+class TestJobKey:
+    def test_stable_within_process(self):
+        job = SimJob(tiny_trace(), "dma-ta", config=tiny_config(), mu=2.0)
+        assert job.key() == job.key()
+        rebuilt = SimJob(tiny_trace(), "dma-ta", config=tiny_config(), mu=2.0)
+        assert job.key() == rebuilt.key()
+
+    def test_stable_across_process_restarts(self, tmp_path):
+        """The same job spec hashes identically in a fresh interpreter."""
+        trace_path = tmp_path / "t.jsonl"
+        write_trace(tiny_trace(), trace_path)
+        script = (
+            "from repro.config import BusConfig, MemoryConfig, SimulationConfig\n"
+            "from repro.exec import SimJob\n"
+            "from repro.traces.io import read_trace\n"
+            "config = SimulationConfig(\n"
+            "    memory=MemoryConfig(num_chips=4, chip_bytes=1 << 20,\n"
+            "                        page_bytes=8192),\n"
+            "    buses=BusConfig(count=3))\n"
+            f"trace = read_trace({str(trace_path)!r})\n"
+            "print(SimJob(trace, 'dma-ta', config=config, mu=2.0).key())\n"
+        )
+        src_dir = Path(repro.__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{src_dir}{os.pathsep}" + env.get("PYTHONPATH", "")
+        fresh = subprocess.run([sys.executable, "-c", script], env=env,
+                               capture_output=True, text=True, check=True)
+        from repro.traces.io import read_trace
+        here = SimJob(read_trace(trace_path), "dma-ta", config=tiny_config(),
+                      mu=2.0).key()
+        assert fresh.stdout.strip() == here
+
+    @pytest.mark.parametrize("variant", [
+        lambda: SimJob(tiny_trace(shift=1.0), "dma-ta",
+                       config=tiny_config(), mu=2.0),          # trace content
+        lambda: SimJob(tiny_trace(), "dma-ta-pl",
+                       config=tiny_config(), mu=2.0),          # technique
+        lambda: SimJob(tiny_trace(), "dma-ta",
+                       config=tiny_config(), mu=3.0),          # mu
+        lambda: SimJob(tiny_trace(), "dma-ta",
+                       config=tiny_config(), mu=2.0, seed=1),  # seed
+        lambda: SimJob(tiny_trace(), "dma-ta",
+                       config=tiny_config(chips=8), mu=2.0),   # config
+        lambda: SimJob(tiny_trace(), "dma-ta",
+                       config=tiny_config(), mu=2.0, engine="precise"),
+    ])
+    def test_key_changes_with_inputs(self, variant):
+        base = SimJob(tiny_trace(), "dma-ta", config=tiny_config(), mu=2.0)
+        assert variant().key() != base.key()
+
+    def test_tag_is_not_identity(self):
+        base = SimJob(tiny_trace(), "baseline", config=tiny_config())
+        tagged = SimJob(tiny_trace(), "baseline", config=tiny_config(),
+                        tag="fig5")
+        assert tagged.key() == base.key()
+
+    def test_default_config_matches_explicit_default(self):
+        implicit = SimJob(tiny_trace(), "baseline")
+        explicit = SimJob(tiny_trace(), "baseline", config=SimulationConfig())
+        assert implicit.key() == explicit.key()
+
+    def test_validate_rejects_contradictory_params(self):
+        job = SimJob(tiny_trace(), "dma-ta", mu=1.0, cp_limit=0.1)
+        with pytest.raises(ConfigurationError):
+            job.validate()
+
+
+class TestResultCache:
+    def _filled(self, root) -> tuple[ResultCache, str]:
+        cache = ResultCache(root=root)
+        job = SimJob(tiny_trace(), "baseline", config=tiny_config())
+        [outcome] = run_many([job], cache=cache)
+        assert outcome.ok and not outcome.from_cache
+        return cache, outcome.key
+
+    def test_round_trip(self, tmp_path):
+        cache, key = self._filled(tmp_path)
+        hit = cache.get(key)
+        assert hit is not None
+        assert hit.technique == "baseline"
+        assert cache.stats.hits == 1 and cache.stats.stores == 1
+
+    def test_corrupted_entry_is_a_miss_not_a_crash(self, tmp_path):
+        cache, key = self._filled(tmp_path)
+        cache.path_for(key).write_bytes(b"not a pickle at all")
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+        assert not cache.path_for(key).exists(), "corrupt entry removed"
+        # The next run_many recomputes and repopulates transparently.
+        job = SimJob(tiny_trace(), "baseline", config=tiny_config())
+        [outcome] = run_many([job], cache=cache)
+        assert outcome.ok and not outcome.from_cache
+        assert cache.get(key) is not None
+
+    def test_wrong_object_type_is_corrupt(self, tmp_path):
+        cache, key = self._filled(tmp_path)
+        cache.path_for(key).write_bytes(pickle.dumps({"sneaky": "dict"}))
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache, key = self._filled(tmp_path)
+        path = cache.path_for(key)
+        path.write_bytes(path.read_bytes()[:10])
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+
+    def test_eviction_is_lru(self, tmp_path):
+        cache = ResultCache(root=tmp_path, max_entries=2)
+        job = SimJob(tiny_trace(), "baseline", config=tiny_config())
+        result = run_many([job])[0].result
+        for index, key in enumerate(["aa" + "0" * 62, "bb" + "1" * 62,
+                                     "cc" + "2" * 62]):
+            cache.put(key, result)
+            stamp = time.time() - 100 + index
+            os.utime(cache.path_for(key), (stamp, stamp))
+        cache.put("dd" + "3" * 62, result)
+        assert cache.stats.evictions >= 1
+        assert len(cache) == 2
+        assert cache.get("aa" + "0" * 62) is None, "oldest entry evicted"
+
+    def test_clear(self, tmp_path):
+        cache, _ = self._filled(tmp_path)
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_env_var_names_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "elsewhere"))
+        assert Path(ResultCache().root) == tmp_path / "elsewhere"
+
+    def test_no_cache_bypasses_reads_and_writes(self, tmp_path, monkeypatch):
+        """cache=None must leave even the default cache dir untouched."""
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "cachedir"))
+        job = SimJob(tiny_trace(), "baseline", config=tiny_config())
+        [outcome] = run_many([job], cache=None)
+        assert outcome.ok
+        assert not (tmp_path / "cachedir").exists()
