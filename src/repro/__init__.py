@@ -62,6 +62,18 @@ from repro.errors import (
     SimulationError,
     TraceError,
 )
+from repro.obs import (
+    JsonlTracer,
+    MetricsRegistry,
+    MetricsReport,
+    NullTracer,
+    RingTracer,
+    Tracer,
+    chrome_trace,
+    render_metrics,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 from repro.sim import FluidEngine, PreciseEngine, SimulationResult, simulate
 from repro.traces import (
     ClientRequest,
@@ -101,6 +113,10 @@ __all__ = [
     "calibrate_mu", "CPLimitCalibration",
     # simulation
     "simulate", "SimulationResult", "FluidEngine", "PreciseEngine",
+    # observability
+    "Tracer", "NullTracer", "RingTracer", "JsonlTracer",
+    "MetricsRegistry", "MetricsReport", "render_metrics",
+    "chrome_trace", "write_chrome_trace", "validate_chrome_trace",
     # traces
     "Trace", "DMATransfer", "ProcessorBurst", "ClientRequest",
     "read_trace", "write_trace", "characterize", "TraceStats",

@@ -35,6 +35,8 @@ class SweepPoint:
         baseline: the shared baseline run (``None`` if it failed).
         error: ``None``, or a one-line description of why this point has
             no result.
+        wall_s: wall-clock seconds the worker spent computing this
+            point's run (0.0 for cache hits and deduplicated points).
     """
 
     x: float
@@ -43,6 +45,7 @@ class SweepPoint:
     result: SimulationResult | None
     baseline: SimulationResult | None
     error: str | None = None
+    wall_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -133,5 +136,6 @@ def sweep_cp_limit(trace: Trace, cp_limits: list[float],
                                  / baseline.energy_joules)
             points.append(SweepPoint(
                 x=cp, technique=technique, savings=savings,
-                result=outcome.result, baseline=baseline, error=error))
+                result=outcome.result, baseline=baseline, error=error,
+                wall_s=outcome.wall_s))
     return points

@@ -13,11 +13,19 @@ Examples::
     repro compare st.jsonl --cp-limit 0.1
     repro sweep st.jsonl --technique dma-ta-pl --cp-limits 0.02,0.1,0.3
     repro calibrate st.jsonl --cp-limit 0.1
+    repro trace st.jsonl --technique dma-ta-pl --out trace.json
+    repro stats st.jsonl --technique dma-ta-pl
+
+``--log-level`` (or the ``REPRO_LOG_LEVEL`` environment variable) turns
+on stdlib logging for every ``repro.*`` module — executor pool
+fallbacks, cache corruption warnings, trace-generator diagnostics.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
+import os
 import sys
 from typing import Callable, Sequence
 
@@ -49,6 +57,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--version", action="version",
                         version=f"repro {__version__}")
+    parser.add_argument(
+        "--log-level", type=str.lower,
+        choices=("debug", "info", "warning", "error"),
+        default=os.environ.get("REPRO_LOG_LEVEL"),
+        help="enable stdlib logging at this level for all repro modules "
+             "(default: $REPRO_LOG_LEVEL, or off)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     generate = commands.add_parser(
@@ -97,6 +111,30 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--cache-dir", default=None,
                        help="cache directory (default: $REPRO_CACHE_DIR "
                             "or .repro_cache)")
+
+    trace_cmd = commands.add_parser(
+        "trace", help="run one traced simulation and export a "
+                      "Chrome-trace/Perfetto JSON")
+    trace_cmd.add_argument("trace")
+    trace_cmd.add_argument("--technique", choices=TECHNIQUES,
+                           default="dma-ta-pl")
+    trace_cmd.add_argument("--engine", choices=ENGINES, default="fluid")
+    trace_cmd.add_argument("--cp-limit", type=float, default=None)
+    trace_cmd.add_argument("--mu", type=float, default=None)
+    trace_cmd.add_argument("--seed", type=int, default=0)
+    trace_cmd.add_argument("--out", required=True,
+                           help="output trace file (load it at "
+                                "https://ui.perfetto.dev)")
+
+    stats = commands.add_parser(
+        "stats", help="run one simulation and print its metrics report")
+    stats.add_argument("trace")
+    stats.add_argument("--technique", choices=TECHNIQUES,
+                       default="dma-ta-pl")
+    stats.add_argument("--engine", choices=ENGINES, default="fluid")
+    stats.add_argument("--cp-limit", type=float, default=None)
+    stats.add_argument("--mu", type=float, default=None)
+    stats.add_argument("--seed", type=int, default=0)
 
     calibrate = commands.add_parser(
         "calibrate", help="show the mu a CP-Limit translates to")
@@ -208,14 +246,49 @@ def _cmd_sweep(args) -> int:
         print(savings_chart(chart,
                             title=f"{trace.name}: {args.technique} savings "
                                   f"vs CP-Limit"))
+    walls = [p.wall_s for p in points if p.wall_s > 0]
+    if walls:
+        print(f"workers: {len(walls)} jobs computed in "
+              f"{sum(walls):.2f}s total "
+              f"(mean {sum(walls) / len(walls):.2f}s, "
+              f"max {max(walls):.2f}s)")
     if cache is not None:
         stats = cache.stats
         print(f"cache: {stats.hits} hits, {stats.misses} misses, "
-              f"{stats.stores} stores ({cache.root})")
+              f"{stats.stores} stores, {stats.evictions} evictions, "
+              f"{stats.corrupt} corrupt ({cache.root})")
     failures = sweep_errors(points)
     if failures:
         print(failures, file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import RingTracer, write_chrome_trace
+
+    trace = read_trace(args.trace)
+    tracer = RingTracer()
+    result = simulate(trace, technique=args.technique, engine=args.engine,
+                      cp_limit=args.cp_limit, mu=args.mu, seed=args.seed,
+                      tracer=tracer)
+    path = write_chrome_trace(tracer.events, args.out, label=trace.name)
+    print(result.summary())
+    print(f"\nwrote {path}: {len(tracer.events)} events "
+          f"({tracer.dropped} dropped) — load it at "
+          "https://ui.perfetto.dev")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.obs import render_metrics
+
+    trace = read_trace(args.trace)
+    result = simulate(trace, technique=args.technique, engine=args.engine,
+                      cp_limit=args.cp_limit, mu=args.mu, seed=args.seed)
+    print(render_metrics(
+        result.metrics,
+        title=f"{trace.name} / {args.technique} ({args.engine})"))
     return 0
 
 
@@ -259,14 +332,30 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "compare": _cmd_compare,
     "sweep": _cmd_sweep,
+    "trace": _cmd_trace,
+    "stats": _cmd_stats,
     "calibrate": _cmd_calibrate,
     "report": _cmd_report,
 }
 
 
+def _configure_logging(level_name: str | None) -> None:
+    if not level_name:
+        return
+    level = getattr(logging, level_name.upper(), None)
+    if not isinstance(level, int):
+        print(f"warning: unknown log level {level_name!r} ignored",
+              file=sys.stderr)
+        return
+    logging.basicConfig(
+        level=level,
+        format="%(levelname)s %(name)s: %(message)s")
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args.log_level)
     try:
         return _COMMANDS[args.command](args)
     except ReproError as exc:

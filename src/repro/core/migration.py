@@ -22,11 +22,21 @@ processor must be interrupted to flush translations
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.config import PopularityLayoutConfig
 from repro.core.layout import GroupPlan
 from repro.errors import LayoutError
 from repro.memory.address import MutableLayout
+from repro.obs.events import TRACK_CONTROLLER
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import Tracer
+
+#: Per-plan cap on individual ``pl.move`` events; plans touching more
+#: pages still emit the plan-level summary with ``truncated: true``.
+_MOVE_EVENT_CAP = 64
 
 
 @dataclass(frozen=True)
@@ -59,14 +69,49 @@ class MigrationPlan:
 
 
 class MigrationPlanner:
-    """Plans and applies the interval-boundary page shuffles."""
+    """Plans and applies the interval-boundary page shuffles.
 
-    def __init__(self, config: PopularityLayoutConfig) -> None:
+    Args:
+        config: PL parameters.
+        tracer: optional event tracer; each applied plan emits a
+            ``pl.migration`` summary instant plus up to ``_MOVE_EVENT_CAP``
+            per-page ``pl.move`` instants on the controller track.
+        registry: optional metrics registry; running ``pl.moves`` and
+            ``pl.table_flushes`` counters.
+    """
+
+    def __init__(self, config: PopularityLayoutConfig,
+                 tracer: "Tracer | None" = None,
+                 registry: "MetricsRegistry | None" = None) -> None:
         self.config = config
         self.total_moves = 0
         self.total_flushes = 0
+        self._tracer = tracer
+        self._moves_counter = (registry.counter("pl.moves")
+                               if registry is not None else None)
+        self._flushes_counter = (registry.counter("pl.table_flushes")
+                                 if registry is not None else None)
 
-    def plan_and_apply(self, plan: GroupPlan, layout: MutableLayout) -> MigrationPlan:
+    def _record_plan(self, migration: MigrationPlan, now: float) -> None:
+        if self._moves_counter is not None:
+            self._moves_counter.inc(migration.num_moves)
+        if self._flushes_counter is not None:
+            self._flushes_counter.inc(migration.table_flushes)
+        if self._tracer is None or migration.num_moves == 0:
+            return
+        self._tracer.instant(now, "pl.migration", TRACK_CONTROLLER, {
+            "moves": migration.num_moves,
+            "flushes": migration.table_flushes,
+            "truncated": migration.num_moves > _MOVE_EVENT_CAP,
+        })
+        for move in migration.moves[:_MOVE_EVENT_CAP]:
+            self._tracer.instant(now, "pl.move", TRACK_CONTROLLER, {
+                "page": move.page, "from": move.from_chip,
+                "to": move.to_chip,
+            })
+
+    def plan_and_apply(self, plan: GroupPlan, layout: MutableLayout,
+                       now: float = 0.0) -> MigrationPlan:
         """Compute the moves to realise ``plan`` and apply them to ``layout``.
 
         The layout is mutated as the plan is built so that capacity
@@ -97,6 +142,7 @@ class MigrationPlanner:
 
         self.total_moves += migration.num_moves
         self.total_flushes += migration.table_flushes
+        self._record_plan(migration, now)
         return migration
 
     # ------------------------------------------------------------------

@@ -22,9 +22,14 @@ slack, waiting any longer risks the guarantee, so the chip must start.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
+from repro.obs.events import TRACK_CONTROLLER
+
+if TYPE_CHECKING:
+    from repro.obs.tracer import Tracer
 
 
 @dataclass
@@ -37,6 +42,8 @@ class SlackAccount:
         num_buses: ``r``.
         saturating_buses: ``k = ceil(Rm/Rb)``.
         release_fraction: release once ``n*U/2 >= fraction * slack``.
+        tracer: optional event tracer; charges, release decisions, and
+            budget violations are emitted on the controller track.
     """
 
     mu: float
@@ -44,6 +51,7 @@ class SlackAccount:
     num_buses: int
     saturating_buses: int
     release_fraction: float = 1.0
+    tracer: "Tracer | None" = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.mu < 0:
@@ -56,6 +64,12 @@ class SlackAccount:
             raise ConfigurationError("release_fraction must be in (0, 1]")
         self._charges = 0.0
         self._extra_credits = 0.0
+        self._violations = 0
+
+    @property
+    def violations(self) -> int:
+        """Times the observed slack dipped below zero (budget at risk)."""
+        return self._violations
 
     # --- credits ----------------------------------------------------------
 
@@ -75,17 +89,33 @@ class SlackAccount:
 
     # --- charges ----------------------------------------------------------
 
-    def charge_epoch(self, epoch_cycles: float, pending_requests: int) -> None:
+    def charge_epoch(self, epoch_cycles: float, pending_requests: int,
+                     now: float = 0.0) -> None:
         """Pessimistic epoch-start charge: all pending wait the epoch out."""
         self._charges += epoch_cycles * pending_requests
+        if self.tracer is not None and pending_requests:
+            self.tracer.instant(now, "slack.charge_epoch", TRACK_CONTROLLER,
+                                {"cycles": epoch_cycles * pending_requests,
+                                 "pending": pending_requests})
 
-    def charge_wake(self, wake_latency: float, pending_requests: int) -> None:
+    def charge_wake(self, wake_latency: float, pending_requests: int,
+                    now: float = 0.0) -> None:
         """Charge a chip activation against the requests it delays."""
         self._charges += wake_latency * pending_requests
+        if self.tracer is not None:
+            self.tracer.instant(now, "slack.charge_wake", TRACK_CONTROLLER,
+                                {"cycles": wake_latency * pending_requests,
+                                 "pending": pending_requests})
 
-    def charge_processor(self, work_cycles: float, pending_requests: int) -> None:
+    def charge_processor(self, work_cycles: float, pending_requests: int,
+                         now: float = 0.0) -> None:
         """Charge processor service time against delayed DMA requests."""
         self._charges += work_cycles * pending_requests
+        if self.tracer is not None:
+            self.tracer.instant(now, "slack.charge_processor",
+                                TRACK_CONTROLLER,
+                                {"cycles": work_cycles * pending_requests,
+                                 "pending": pending_requests})
 
     def refund(self, cycles: float) -> None:
         """Return over-charged pessimistic cycles (e.g. when a request is
@@ -112,7 +142,7 @@ class SlackAccount:
         return m * self.service_cycles * groups
 
     def should_release(self, pending_by_bus: dict[int, int],
-                       arrived_requests: float) -> bool:
+                       arrived_requests: float, now: float = 0.0) -> bool:
         """True if the pending requests for a chip must start now.
 
         Two triggers (Section 4.1.1-4.1.2):
@@ -130,4 +160,11 @@ class SlackAccount:
         n = sum(pending_by_bus.values())
         projected = n * self.service_upper_bound(pending_by_bus) / 2.0
         slack = self.slack(arrived_requests)
+        if slack < 0.0:
+            self._violations += 1
+            if self.tracer is not None:
+                self.tracer.instant(now, "slack.violation", TRACK_CONTROLLER,
+                                    {"slack": slack, "projected": projected})
+        if self.tracer is not None:
+            self.tracer.counter(now, "slack", TRACK_CONTROLLER, slack)
         return projected >= self.release_fraction * slack

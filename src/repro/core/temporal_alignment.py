@@ -27,13 +27,18 @@ active, which are admitted immediately.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.config import SimulationConfig
 from repro.core.controller import MemoryController
 from repro.core.slack import SlackAccount
 from repro.io.dma import FluidStream
 from repro.memory.chip import FluidChip
+from repro.obs.events import TRACK_CONTROLLER
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import Tracer
 
 
 class TemporalAlignmentController(MemoryController):
@@ -47,18 +52,29 @@ class TemporalAlignmentController(MemoryController):
             *excluding* buffered head requests (the controller adds its
             own pending count). The engine supplies this from its served
             work integral.
+        tracer: optional event tracer; head buffering and batch releases
+            (with their trigger) are emitted on the controller track.
+        registry: optional metrics registry; release batch sizes (the
+            lockstep group lengths) land in the ``ta.batch_size``
+            histogram.
     """
 
     def __init__(self, config: SimulationConfig,
-                 arrived_requests: Callable[[], float]) -> None:
+                 arrived_requests: Callable[[], float],
+                 tracer: "Tracer | None" = None,
+                 registry: "MetricsRegistry | None" = None) -> None:
         self._config = config
         self._arrived_served = arrived_requests
+        self._tracer = tracer
+        self._batch_hist = (registry.histogram("ta.batch_size")
+                            if registry is not None else None)
         self.slack = SlackAccount(
             mu=config.alignment.mu,
             service_cycles=config.undisturbed_service_cycles,
             num_buses=config.buses.count,
             saturating_buses=config.saturating_buses,
             release_fraction=config.alignment.slack_release_fraction,
+            tracer=tracer,
         )
         self._pending: dict[int, list[FluidStream]] = defaultdict(list)
         self._pending_total = 0
@@ -102,6 +118,18 @@ class TemporalAlignmentController(MemoryController):
         self.max_gathered = max(self.max_gathered, len(streams))
         return streams
 
+    def _record_release(self, chip_id: int, batch_size: int, reason: str,
+                        now: float) -> None:
+        """Observe one released lockstep batch (size + trigger)."""
+        if batch_size <= 0:
+            return
+        if self._batch_hist is not None:
+            self._batch_hist.record(batch_size)
+        if self._tracer is not None:
+            self._tracer.instant(now, "ta.release", TRACK_CONTROLLER,
+                                 {"chip": chip_id, "batch": batch_size,
+                                  "reason": reason})
+
     def _allowance(self, stream, now: float) -> float:
         """How long a buffered transfer may currently wait.
 
@@ -138,6 +166,9 @@ class TemporalAlignmentController(MemoryController):
             self.transfers_passed_through += 1
             released = self._pop_pending(chip_id)
             released.append(stream)
+            if len(released) > 1:
+                self._record_release(chip_id, len(released), "chip-active",
+                                     now)
             return released
 
         if self.slack.credit_per_request() <= 0.0:
@@ -156,14 +187,23 @@ class TemporalAlignmentController(MemoryController):
         self._pending_total += 1
         self._pending_requests += getattr(stream, "num_requests", 0) or 1
         self.transfers_buffered += 1
+        if self._tracer is not None:
+            self._tracer.instant(now, "ta.buffer", TRACK_CONTROLLER,
+                                 {"chip": chip_id,
+                                  "bus": getattr(stream, "bus_id", None),
+                                  "pending": self._pending_total})
 
         by_bus = self._pending_by_bus(chip_id)
         if len(by_bus) >= self.slack.saturating_buses:
             self.releases_by_gather += 1
-            return self._pop_pending(chip_id)
-        if self.slack.should_release(by_bus, self._arrived()):
+            batch = self._pop_pending(chip_id)
+            self._record_release(chip_id, len(batch), "gather", now)
+            return batch
+        if self.slack.should_release(by_bus, self._arrived(), now):
             self.releases_by_slack += 1
-            return self._pop_pending(chip_id)
+            batch = self._pop_pending(chip_id)
+            self._record_release(chip_id, len(batch), "slack", now)
+            return batch
         return []
 
     def epoch_cycles(self) -> float | None:
@@ -171,17 +211,21 @@ class TemporalAlignmentController(MemoryController):
 
     def on_epoch(self, now: float) -> dict[int, list[FluidStream]]:
         self.slack.charge_epoch(
-            self._config.alignment.epoch_cycles, self._pending_total)
+            self._config.alignment.epoch_cycles, self._pending_total, now)
         releases: dict[int, list[FluidStream]] = {}
         for chip_id in list(self._pending):
             if self._deadline_due(chip_id, now):
                 self.releases_by_deadline += 1
                 releases[chip_id] = self._pop_pending(chip_id)
+                self._record_release(chip_id, len(releases[chip_id]),
+                                     "deadline", now)
                 continue
             by_bus = self._pending_by_bus(chip_id)
-            if self.slack.should_release(by_bus, self._arrived()):
+            if self.slack.should_release(by_bus, self._arrived(), now):
                 self.releases_by_slack += 1
                 releases[chip_id] = self._pop_pending(chip_id)
+                self._record_release(chip_id, len(releases[chip_id]),
+                                     "slack", now)
         return releases
 
     def on_wake(self, chip_id: int, wake_latency: float, now: float,
@@ -189,23 +233,27 @@ class TemporalAlignmentController(MemoryController):
         # "decreasing Slack by the time overhead of activating each memory
         # chip times the number of requests pending for it" — the engine
         # passes the size of the batch being released.
-        self.slack.charge_wake(wake_latency, pending_requests)
+        self.slack.charge_wake(wake_latency, pending_requests, now)
 
     def on_proc_access(self, chip_id: int, work_cycles: float,
                        dma_streams_at_chip: int, now: float) -> None:
         pending = len(self._pending.get(chip_id, ())) + dma_streams_at_chip
         if pending:
-            self.slack.charge_processor(work_cycles, pending)
+            self.slack.charge_processor(work_cycles, pending, now)
 
     def on_chip_active(self, chip: FluidChip,
                        now: float) -> list[FluidStream]:
-        return self._pop_pending(chip.chip_id)
+        batch = self._pop_pending(chip.chip_id)
+        self._record_release(chip.chip_id, len(batch), "chip-active", now)
+        return batch
 
     def drain(self, now: float) -> dict[int, list[FluidStream]]:
         releases = {}
         for chip_id in list(self._pending):
             self.releases_by_drain += 1
             releases[chip_id] = self._pop_pending(chip_id)
+            self._record_release(chip_id, len(releases[chip_id]), "drain",
+                                 now)
         return releases
 
     def pending_count(self) -> int:

@@ -23,6 +23,7 @@ overridable with the ``REPRO_CACHE_DIR`` environment variable or the
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import tempfile
@@ -30,6 +31,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.sim.results import SimulationResult
+
+logger = logging.getLogger(__name__)
 
 #: Environment variable naming the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -96,7 +99,9 @@ class ResultCache:
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except Exception:
+        except Exception as exc:
+            logger.warning("cache entry %s is unreadable (%s: %s); "
+                           "removing it", path, type(exc).__name__, exc)
             self.stats.corrupt += 1
             self.stats.misses += 1
             try:
@@ -105,6 +110,9 @@ class ResultCache:
                 pass
             return None
         if not isinstance(result, SimulationResult):
+            logger.warning("cache entry %s holds a %s, not a "
+                           "SimulationResult; removing it", path,
+                           type(result).__name__)
             self.stats.corrupt += 1
             self.stats.misses += 1
             try:

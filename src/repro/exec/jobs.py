@@ -19,7 +19,8 @@ from repro.traces.trace import Trace
 
 #: Bump when the meaning of a cached result changes without the package
 #: version changing (result schema tweaks, canonicalisation fixes, ...).
-CACHE_SCHEMA_VERSION = 1
+#: 2: SimulationResult gained the ``metrics`` report field.
+CACHE_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)

@@ -31,7 +31,10 @@ to completion.
 from __future__ import annotations
 
 import concurrent.futures
+import functools
+import logging
 import pickle
+import time
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
@@ -49,6 +52,8 @@ from repro.sim.run import simulate
 _POOL_FAILURES = (BrokenProcessPool, pickle.PicklingError, OSError,
                   AttributeError, TypeError)
 
+logger = logging.getLogger(__name__)
+
 
 @dataclass
 class JobOutcome:
@@ -61,6 +66,9 @@ class JobOutcome:
         error: ``None`` on success, else a one-line failure description.
         from_cache: the result was loaded from the on-disk cache rather
             than computed in this call.
+        wall_s: wall-clock seconds the job's worker spent computing the
+            result (0.0 for cache hits, failures, and deduplicated
+            followers of an already-computed key).
     """
 
     job: SimJob
@@ -68,6 +76,7 @@ class JobOutcome:
     result: SimulationResult | None = None
     error: str | None = None
     from_cache: bool = False
+    wall_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -79,6 +88,14 @@ def _execute(job: SimJob) -> SimulationResult:
     return simulate(job.trace, config=job.config, technique=job.technique,
                     engine=job.engine, mu=job.mu, cp_limit=job.cp_limit,
                     seed=job.seed)
+
+
+def _timed_call(worker: Callable[[SimJob], SimulationResult],
+                job: SimJob) -> tuple[SimulationResult, float]:
+    """Run ``worker(job)`` and measure its wall time (pool-picklable)."""
+    start = time.perf_counter()
+    result = worker(job)
+    return result, time.perf_counter() - start
 
 
 def _describe(exc: BaseException) -> str:
@@ -119,6 +136,7 @@ def run_many(
     jobs = list(jobs)
     validate_jobs(jobs)
     worker = worker or _execute
+    timed = functools.partial(_timed_call, worker)
 
     keys = [job.key() for job in jobs]
     order: list[str] = []  # unique keys, first-appearance order
@@ -130,6 +148,7 @@ def run_many(
 
     results: dict[str, SimulationResult] = {}
     errors: dict[str, str] = {}
+    walls: dict[str, float] = {}
     cached: set[str] = set()
 
     if cache is not None:
@@ -143,7 +162,7 @@ def run_many(
 
     def run_serially(key: str) -> None:
         try:
-            results[key] = worker(first_job[key])
+            results[key], walls[key] = timed(first_job[key])
         except Exception as exc:
             errors[key] = _describe(exc)
 
@@ -151,9 +170,9 @@ def run_many(
         for key in pending:
             run_serially(key)
     else:
-        _run_pool(pending, first_job, worker,
+        _run_pool(pending, first_job, timed,
                   min(max_workers, len(pending)), timeout_s,
-                  results, errors, run_serially)
+                  results, errors, walls, run_serially)
 
     if cache is not None:
         for key in pending:
@@ -161,24 +180,28 @@ def run_many(
                 cache.put(key, results[key])
 
     outcomes = []
+    seen: set[str] = set()
     for job, key in zip(jobs, keys):
         outcomes.append(JobOutcome(
             job=job, key=key,
             result=results.get(key),
             error=errors.get(key),
             from_cache=key in cached,
+            wall_s=walls.get(key, 0.0) if key not in seen else 0.0,
         ))
+        seen.add(key)
     return outcomes
 
 
 def _run_pool(
     pending: Sequence[str],
     first_job: dict[str, SimJob],
-    worker: Callable[[SimJob], SimulationResult],
+    timed: Callable[[SimJob], tuple[SimulationResult, float]],
     max_workers: int,
     timeout_s: float | None,
     results: dict[str, SimulationResult],
     errors: dict[str, str],
+    walls: dict[str, float],
     run_serially: Callable[[str], None],
 ) -> None:
     """Fan ``pending`` out over a process pool, filling results/errors.
@@ -189,7 +212,9 @@ def _run_pool(
     try:
         executor = concurrent.futures.ProcessPoolExecutor(
             max_workers=max_workers)
-    except _POOL_FAILURES + (RuntimeError,):
+    except _POOL_FAILURES + (RuntimeError,) as exc:
+        logger.warning("process pool unavailable (%s); running %d jobs "
+                       "serially", _describe(exc), len(pending))
         for key in pending:
             run_serially(key)
         return
@@ -197,9 +222,11 @@ def _run_pool(
     pool_broken = False
     with executor:
         try:
-            futures = {key: executor.submit(worker, first_job[key])
+            futures = {key: executor.submit(timed, first_job[key])
                        for key in pending}
-        except _POOL_FAILURES:
+        except _POOL_FAILURES as exc:
+            logger.warning("pool submission failed (%s); running %d jobs "
+                           "serially", _describe(exc), len(pending))
             for key in pending:
                 run_serially(key)
             return
@@ -208,12 +235,17 @@ def _run_pool(
                 run_serially(key)
                 continue
             try:
-                results[key] = futures[key].result(timeout=timeout_s)
+                results[key], walls[key] = futures[key].result(
+                    timeout=timeout_s)
             except concurrent.futures.TimeoutError:
+                logger.warning("job %s timed out after %gs", key[:12],
+                               timeout_s)
                 errors[key] = (f"timed out after {timeout_s:g}s "
                                "(result abandoned)")
                 futures[key].cancel()
-            except _POOL_FAILURES:
+            except _POOL_FAILURES as exc:
+                logger.warning("pool broke (%s); downgrading remaining "
+                               "jobs to serial execution", _describe(exc))
                 pool_broken = True
                 run_serially(key)
             except Exception as exc:

@@ -24,11 +24,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.energy.accounting import EnergyBreakdown, TimeBreakdown
 from repro.energy.policies import PowerPolicy
 from repro.energy.states import PowerModel, PowerState
 from repro.errors import SimulationError
+from repro.obs.events import chip_track
+
+if TYPE_CHECKING:
+    from repro.obs.tracer import Tracer
 
 _INF = math.inf
 
@@ -84,6 +89,13 @@ class FluidChip:
         #: as ``(start, end, serving_fraction)`` tuples for timeline
         #: rendering; idle periods are implicit gaps.
         self.timeline: list[tuple[float, float, float]] | None = None
+        #: Set by the engine when tracing: power-state residency spans
+        #: are emitted on the chip's track. ``None`` = no tracing; every
+        #: instrumentation site is a single ``is not None`` check.
+        self.tracer: Tracer | None = None
+        #: ``"from->to"`` power-state transition counts (both directions).
+        self.transition_counts: dict[str, int] = {}
+        self._track = chip_track(chip_id)
 
         self._schedule = policy.schedule(model)
         self._profile = self._build_profile()
@@ -187,6 +199,10 @@ class FluidChip:
             self._accrue_idle(self._time, now)
         self._time = now
 
+    def _count_transition(self, source: PowerState, target: PowerState) -> None:
+        edge = f"{source.value}->{target.value}"
+        self.transition_counts[edge] = self.transition_counts.get(edge, 0) + 1
+
     def _accrue_busy(self, delta: float) -> None:
         power = self.model.active_power
         seconds = delta / self.model.frequency_hz
@@ -195,6 +211,15 @@ class FluidChip:
         if self.timeline is not None and delta > 0:
             self.timeline.append((self._time, self._time + delta, busy))
         idle_fraction = max(0.0, 1.0 - busy)
+        if self.tracer is not None and delta > 0:
+            idle_bucket = ("idle_dma" if self._has_dma_stream
+                           else "idle_threshold")
+            self.tracer.span(self._time, delta, "active", self._track, {
+                "serving_dma": delta * rates.dma,
+                "serving_proc": delta * rates.proc,
+                "migration": delta * rates.migration,
+                idle_bucket: delta * idle_fraction,
+            })
 
         self.time.serving_dma += delta * rates.dma
         self.time.serving_proc += delta * rates.proc
@@ -228,9 +253,22 @@ class FluidChip:
             elif segment.bucket == _SEG_TRANSITION:
                 self.time.transition += cycles
                 self.energy.transition += joules
+                if segment.target is not None and lo < segment.end <= hi:
+                    # The downward transition completed inside this span.
+                    self._count_transition(segment.state, segment.target)
             else:
                 self.time.low_power += cycles
                 self.energy.low_power += joules
+            if self.tracer is not None:
+                if segment.bucket == _SEG_ACTIVE_IDLE:
+                    name = "active-idle"
+                elif segment.bucket == _SEG_TRANSITION:
+                    name = (f"to-{segment.target.value}"
+                            if segment.target is not None else "transition")
+                else:
+                    name = segment.state.value
+                self.tracer.span(self._idle_since + lo, cycles, name,
+                                 self._track, {"bucket": segment.bucket})
             if segment.end >= offset_end:
                 break
 
@@ -262,6 +300,7 @@ class FluidChip:
             self.energy.transition += (
                 down.power_watts * remaining / self.model.frequency_hz)
             ready += remaining
+            self._count_transition(segment.state, segment.target)
             state = segment.target
         else:
             state = segment.state
@@ -271,6 +310,11 @@ class FluidChip:
             self.energy.transition += self.model.transition_energy(up)
             ready += up.time_cycles
             self.wake_count += 1
+            self._count_transition(state, PowerState.ACTIVE)
+        if self.tracer is not None and ready > now:
+            self.tracer.span(now, ready - now, "wake", self._track,
+                             {"bucket": _SEG_TRANSITION,
+                              "from": state.value})
         self._time = ready
         # The chip is ACTIVE from the ready instant: re-anchor the idle
         # profile there so a second wake issued at (or after) ready sees

@@ -1,0 +1,76 @@
+"""repro.obs — structured tracing, metrics, and trace export.
+
+The observability layer of the simulator:
+
+* **events + tracers** (:mod:`repro.obs.events`,
+  :mod:`repro.obs.tracer`) — a structured trace-event protocol with a
+  null sink (zero overhead when disabled), an in-memory ring, and a
+  JSONL stream. Pass a tracer to :func:`repro.simulate` and the engines
+  emit per-chip power-state residency spans, DMA-TA gather/release
+  batches, slack-account charges, PL page-migration batches, and
+  per-epoch progress counters.
+* **metrics** (:mod:`repro.obs.metrics`) — counters, gauges, and
+  histograms snapshotted into the :class:`MetricsReport` attached to
+  every :class:`~repro.sim.results.SimulationResult`.
+* **export** (:mod:`repro.obs.export`) — Chrome-trace/Perfetto JSON
+  (``repro trace --out trace.json``; load it at https://ui.perfetto.dev)
+  and plain-text summaries (``repro stats``).
+
+See ``docs/OBSERVABILITY.md`` for the event schema and a Perfetto
+walkthrough.
+"""
+
+from repro.obs.events import (
+    PH_COUNTER,
+    PH_INSTANT,
+    PH_SPAN,
+    TRACK_BUS,
+    TRACK_CHIP,
+    TRACK_CONTROLLER,
+    TRACK_SIM,
+    Event,
+    bus_track,
+    chip_track,
+)
+from repro.obs.export import (
+    RESIDENCY_BUCKETS,
+    chrome_trace,
+    residency_from_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSummary,
+    MetricsRegistry,
+    MetricsReport,
+    render_metrics,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    JsonlTracer,
+    NullTracer,
+    RingTracer,
+    Tracer,
+    active_tracer,
+    events_of,
+    read_jsonl_events,
+)
+
+__all__ = [
+    # events
+    "Event", "PH_SPAN", "PH_INSTANT", "PH_COUNTER",
+    "TRACK_CHIP", "TRACK_BUS", "TRACK_CONTROLLER", "TRACK_SIM",
+    "chip_track", "bus_track",
+    # tracers
+    "Tracer", "NullTracer", "NULL_TRACER", "RingTracer", "JsonlTracer",
+    "active_tracer", "events_of", "read_jsonl_events",
+    # metrics
+    "Counter", "Gauge", "Histogram", "HistogramSummary",
+    "MetricsRegistry", "MetricsReport", "render_metrics",
+    # export
+    "chrome_trace", "write_chrome_trace", "validate_chrome_trace",
+    "residency_from_events", "RESIDENCY_BUCKETS",
+]

@@ -34,6 +34,9 @@ from repro.memory.address import (
 )
 from repro.memory.chip import ChipRates, FluidChip
 from repro.memory.system import MemorySystem
+from repro.obs.events import TRACK_SIM
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import active_tracer
 from repro.sim.engine import EventKind, EventQueue
 from repro.sim.results import SimulationResult
 from repro.traces.records import DMATransfer, ProcessorBurst
@@ -65,11 +68,18 @@ class FluidEngine:
             reference), ``baseline`` (the low-level dynamic policy alone),
             ``dma-ta``, ``pl``, or ``dma-ta-pl``.
         seed: seed of the baseline random page layout.
+        tracer: optional :class:`~repro.obs.tracer.Tracer`; when given
+            (and enabled) the run emits power-state residency spans, TA
+            buffering/release decisions, slack charges, PL migrations,
+            and per-epoch progress counters. A disabled or ``None``
+            tracer is normalised away so the hot paths pay a single
+            ``is not None`` check.
     """
 
     def __init__(self, trace: Trace, config: SimulationConfig,
                  technique: str = "baseline", seed: int = 0,
-                 record_timeline: bool = False) -> None:
+                 record_timeline: bool = False,
+                 tracer=None) -> None:
         if technique not in TECHNIQUES:
             raise ConfigurationError(
                 f"unknown technique {technique!r}; expected one of {TECHNIQUES}")
@@ -77,6 +87,8 @@ class FluidEngine:
         self.config = config
         self.technique = technique
         self._record_timeline = record_timeline
+        self.tracer = active_tracer(tracer)
+        self.registry = MetricsRegistry()
 
         policy = AlwaysOnPolicy() if technique == "nopm" else config.policy
         memory_config = config.memory
@@ -87,6 +99,9 @@ class FluidEngine:
         if record_timeline:
             for chip in self.memory.chips:
                 chip.timeline = []
+        if self.tracer is not None:
+            for chip in self.memory.chips:
+                chip.tracer = self.tracer
 
         model = memory_config.power_model
         self.buses = [
@@ -98,7 +113,8 @@ class FluidEngine:
 
         if technique in ("dma-ta", "dma-ta-pl"):
             self.controller: MemoryController = TemporalAlignmentController(
-                config, self._served_requests)
+                config, self._served_requests,
+                tracer=self.tracer, registry=self.registry)
         else:
             self.controller = BaselineController()
 
@@ -109,7 +125,8 @@ class FluidEngine:
             self._grouper = PopularityGrouper(
                 memory_config.num_chips, memory_config.pages_per_chip,
                 config.layout)
-            self._planner = MigrationPlanner(config.layout)
+            self._planner = MigrationPlanner(
+                config.layout, tracer=self.tracer, registry=self.registry)
             self._previous_hot: set[int] = set()
             self._previous_candidates: set[int] | None = None
         else:
@@ -147,6 +164,8 @@ class FluidEngine:
         self._last_completion: dict[int, float] = {}
 
         self._opportunistic = config.layout.opportunistic_copies
+        self._dma_service_hist = self.registry.histogram(
+            "dma.service_per_request")
 
         # Cached geometry.
         self._serve_cycles = config.serve_cycles
@@ -327,6 +346,12 @@ class FluidEngine:
     def _on_epoch(self, now: float) -> None:
         if not self._work_remaining():
             return
+        self.registry.counter("sim.epochs").inc()
+        if self.tracer is not None:
+            self.tracer.counter(now, "pending_heads", TRACK_SIM,
+                                float(self.controller.pending_count()))
+            self.tracer.counter(now, "served_requests", TRACK_SIM,
+                                self._served_requests())
         for chip_id, streams in self.controller.on_epoch(now).items():
             self._release(self.memory.chips[chip_id], streams, now,
                           notify=True)
@@ -348,7 +373,7 @@ class FluidEngine:
                 if group != cold_index}
             self._previous_candidates = plan.candidates
             migration = self._planner.plan_and_apply(
-                plan, self.memory.layout)  # type: ignore[arg-type]
+                plan, self.memory.layout, now)  # type: ignore[arg-type]
             self._tracker.age()
             self.migrations += migration.num_moves
             self.table_flushes += migration.table_flushes
@@ -445,6 +470,12 @@ class FluidEngine:
         if stream.is_dma:
             granted = self.buses[stream.bus_id].finish(stream)
             self.extra_service_total += stream.extra_service_cycles
+            requests = stream.num_requests or 1
+            per_request_extra = (
+                stream.release_time - stream.arrival_time
+                + stream.extra_service_cycles) / requests
+            self._dma_service_hist.record(
+                self.config.undisturbed_service_cycles + per_request_extra)
             record = stream.record
             if isinstance(record, DMATransfer) and record.request_id is not None:
                 prior = self._last_completion.get(record.request_id, 0.0)
@@ -572,6 +603,7 @@ class FluidEngine:
                 0.0, completion - client.arrival + client.base_cycles)
 
         return SimulationResult(
+            metrics=self._build_metrics(mu, service),
             trace_name=self.trace.name,
             technique=self.technique,
             engine="fluid",
@@ -595,3 +627,25 @@ class FluidEngine:
                       if self._record_timeline else None),
             chip_energy=[c.energy.total for c in self.memory.chips],
         )
+
+    def _build_metrics(self, mu: float, service_cycles: float):
+        """Snapshot the run's registry into a :class:`MetricsReport`."""
+        registry = self.registry
+        registry.counter("sim.transfers").inc(self.transfers)
+        registry.counter("sim.requests").inc(self.requests)
+        registry.counter("sim.proc_accesses").inc(self.proc_accesses)
+        registry.counter("sim.wakes").inc(self.memory.total_wakes())
+        registry.gauge("dma.service_bound").set((1 + mu) * service_cycles)
+        slack = getattr(self.controller, "slack", None)
+        if slack is not None:
+            registry.counter("slack.violations").inc(slack.violations)
+        chip_residency: dict[int, dict[str, float]] = {}
+        transitions: dict[str, int] = {}
+        for chip in self.memory.chips:
+            buckets = chip.time.as_dict()
+            buckets.pop("total", None)
+            chip_residency[chip.chip_id] = buckets
+            for edge, count in chip.transition_counts.items():
+                transitions[edge] = transitions.get(edge, 0) + count
+        return registry.report(chip_residency=chip_residency,
+                               transitions=transitions)

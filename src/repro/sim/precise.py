@@ -29,6 +29,9 @@ from repro.energy.states import PowerState
 from repro.errors import ConfigurationError, GuaranteeViolationError
 from repro.io.devices import BusAssigner
 from repro.memory.address import MutableLayout, PageLayout, RandomLayout
+from repro.obs.events import TRACK_SIM, chip_track
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import active_tracer
 from repro.sim.engine import EventQueue
 from repro.sim.results import SimulationResult
 from repro.traces.records import DMATransfer, ProcessorBurst
@@ -113,6 +116,11 @@ class _PChip:
         self.energy = EnergyBreakdown()
         self.time = TimeBreakdown()
         self.wake_count = 0
+        #: Optional event tracer (set by the engine when tracing is live).
+        self.tracer = None
+        #: ``"from->to"`` power-state transition counts.
+        self.transition_counts: dict[str, int] = {}
+        self._track = chip_track(chip_id)
 
         self.queue: list[Deque[_Request]] = [deque(), deque(), deque()]
         self.serving: _Request | None = None
@@ -139,6 +147,7 @@ class _PChip:
         """Accrue energy/time since the last checkpoint at the current mode."""
         if now <= self._last:
             return
+        start = self._last
         delta = now - self._last
         self._last = now
         seconds = delta / self.model.frequency_hz
@@ -147,36 +156,58 @@ class _PChip:
             power = self.model.active_power
             joules = power * seconds
             if self.serving.priority == _PRIO_PROC:
+                bucket = "serving_proc"
                 self.time.serving_proc += delta
                 self.energy.serving_proc += joules
             elif self.serving.priority == _PRIO_DMA:
+                bucket = "serving_dma"
                 self.time.serving_dma += delta
                 self.energy.serving_dma += joules
             else:
+                bucket = "migration"
                 self.time.migration += delta
                 self.energy.migration += joules
+            if self.tracer is not None:
+                self.tracer.span(start, delta, "serve", self._track,
+                                 {"bucket": bucket})
             return
 
         if self.waking_until is not None or self.transition_until is not None:
             # In transit between states; power set when transit began.
             self.time.transition += delta
             self.energy.transition += self._transit_power * seconds
+            if self.tracer is not None:
+                self.tracer.span(start, delta, "transition", self._track,
+                                 {"bucket": "transition"})
             return
 
         power = self.model.power(self.state)
         joules = power * seconds
         if self.state is PowerState.ACTIVE:
             if self.inflight_transfers > 0:
+                bucket = "idle_dma"
                 self.time.idle_dma += delta
                 self.energy.idle_dma += joules
             else:
+                bucket = "idle_threshold"
                 self.time.idle_threshold += delta
                 self.energy.idle_threshold += joules
+            name = "active-idle"
         else:
+            bucket = "low_power"
+            name = self.state.value
             self.time.low_power += delta
             self.energy.low_power += joules
+        if self.tracer is not None:
+            self.tracer.span(start, delta, name, self._track,
+                             {"bucket": bucket})
 
     _transit_power = 0.0
+
+    def _count_transition(self, source: PowerState,
+                          target: PowerState) -> None:
+        edge = f"{source.value}->{target.value}"
+        self.transition_counts[edge] = self.transition_counts.get(edge, 0) + 1
 
     # --- power state ------------------------------------------------------
 
@@ -198,6 +229,7 @@ class _PChip:
             # Finish the downward transition first.
             ready = self.transition_until
             pending_state = self.transition_target
+            self._count_transition(self.state, pending_state)
         else:
             pending_state = self.state
         up = self.model.upward[pending_state]
@@ -212,6 +244,9 @@ class _PChip:
             leg = self.transition_until - now
             self.time.transition += leg
             self.energy.transition += down.power_watts * leg / self.model.frequency_hz
+            if self.tracer is not None:
+                self.tracer.span(now, leg, "transition", self._track,
+                                 {"bucket": "transition"})
             self._last = self.transition_until
         self.transition_until = None
         self.transition_target = None
@@ -221,6 +256,7 @@ class _PChip:
     def finish_wake(self, now: float) -> None:
         self.touch(now)
         self.waking_until = None
+        self._count_transition(self.state, PowerState.ACTIVE)
         self.state = PowerState.ACTIVE
         self.descent_index = 0
         self.idle_since = now
@@ -240,6 +276,7 @@ class _PChip:
     def finish_descent_step(self, now: float) -> None:
         self.touch(now)
         assert self.transition_target is not None
+        self._count_transition(self.state, self.transition_target)
         self.state = self.transition_target
         self.transition_until = None
         self.transition_target = None
@@ -272,13 +309,16 @@ class PreciseEngine:
     """Per-request event-driven simulation (the validation reference)."""
 
     def __init__(self, trace: Trace, config: SimulationConfig,
-                 technique: str = "baseline", seed: int = 0) -> None:
+                 technique: str = "baseline", seed: int = 0,
+                 tracer=None) -> None:
         if technique not in TECHNIQUES:
             raise ConfigurationError(
                 f"unknown technique {technique!r}; expected one of {TECHNIQUES}")
         self.trace = trace
         self.config = config
         self.technique = technique
+        self.tracer = active_tracer(tracer)
+        self.registry = MetricsRegistry()
 
         from repro.sim.fluid import build_base_layout
 
@@ -291,11 +331,15 @@ class PreciseEngine:
             _PChip(i, memory.power_model, policy)
             for i in range(memory.num_chips)
         ]
+        if self.tracer is not None:
+            for chip in self.chips:
+                chip.tracer = self.tracer
         self.assigner = BusAssigner(config.buses.count)
 
         if technique in ("dma-ta", "dma-ta-pl"):
             self.controller: MemoryController = TemporalAlignmentControllerShim(
-                config, self._arrived_requests)
+                config, self._arrived_requests,
+                tracer=self.tracer, registry=self.registry)
         else:
             self.controller = BaselineController()
 
@@ -305,7 +349,8 @@ class PreciseEngine:
                 aging_shift=config.layout.aging_shift)
             self._grouper = PopularityGrouper(
                 memory.num_chips, memory.pages_per_chip, config.layout)
-            self._planner = MigrationPlanner(config.layout)
+            self._planner = MigrationPlanner(
+                config.layout, tracer=self.tracer, registry=self.registry)
             self._previous_hot: set[int] = set()
             self._previous_candidates: set[int] | None = None
         else:
@@ -342,6 +387,8 @@ class PreciseEngine:
         self.migrations = 0
         self.table_flushes = 0
         self._last_completion: dict[int, float] = {}
+        self._dma_service_hist = self.registry.histogram(
+            "dma.service_per_request")
 
     def _arrived_requests(self) -> float:
         return float(self.arrived_requests)
@@ -554,6 +601,9 @@ class PreciseEngine:
             transfer.served += 1
             extra = (now - request.arrival) - request.cycles
             self.extra_service_total += max(0.0, extra)
+            self._dma_service_hist.record(
+                max(request.cycles, now - request.arrival)
+                + transfer.head_delay / transfer.total_requests)
             self._on_request_ack(transfer, now)
             if transfer.done:
                 chip.inflight_transfers -= 1
@@ -604,6 +654,12 @@ class PreciseEngine:
     def _on_epoch(self, payload, now: float) -> None:
         if not self._work_remaining():
             return
+        self.registry.counter("sim.epochs").inc()
+        if self.tracer is not None:
+            self.tracer.counter(now, "pending_heads", TRACK_SIM,
+                                float(self.controller.pending_count()))
+            self.tracer.counter(now, "served_requests", TRACK_SIM,
+                                float(self.arrived_requests))
         for chip_id, transfers in self.controller.on_epoch(now).items():
             self._do_release(chip_id, transfers, now, notify=True)
         epoch = self.controller.epoch_cycles()
@@ -623,7 +679,7 @@ class PreciseEngine:
                 page for page, group in plan.page_group.items()
                 if group != cold_index}
             self._previous_candidates = plan.candidates
-            migration = self._planner.plan_and_apply(plan, self.layout)
+            migration = self._planner.plan_and_apply(plan, self.layout, now)
             self._tracker.age()
             self.migrations += migration.num_moves
             self.table_flushes += migration.table_flushes
@@ -675,6 +731,7 @@ class PreciseEngine:
                 0.0, completion - client.arrival + client.base_cycles)
 
         return SimulationResult(
+            metrics=self._build_metrics(mu, service),
             trace_name=self.trace.name,
             technique=self.technique,
             engine="precise",
@@ -696,6 +753,29 @@ class PreciseEngine:
             guarantee_violated=violated,
             chip_energy=[c.energy.total for c in self.chips],
         )
+
+    def _build_metrics(self, mu: float, service_cycles: float):
+        """Snapshot the run's registry into a :class:`MetricsReport`."""
+        registry = self.registry
+        registry.counter("sim.transfers").inc(self.transfers)
+        registry.counter("sim.requests").inc(self.requests)
+        registry.counter("sim.proc_accesses").inc(self.proc_accesses)
+        registry.counter("sim.wakes").inc(
+            sum(c.wake_count for c in self.chips))
+        registry.gauge("dma.service_bound").set((1 + mu) * service_cycles)
+        slack = getattr(self.controller, "slack", None)
+        if slack is not None:
+            registry.counter("slack.violations").inc(slack.violations)
+        chip_residency: dict[int, dict[str, float]] = {}
+        transitions: dict[str, int] = {}
+        for chip in self.chips:
+            buckets = chip.time.as_dict()
+            buckets.pop("total", None)
+            chip_residency[chip.chip_id] = buckets
+            for edge, count in chip.transition_counts.items():
+                transitions[edge] = transitions.get(edge, 0) + count
+        return registry.report(chip_residency=chip_residency,
+                               transitions=transitions)
 
 
 def _dispatch_descent(engine: PreciseEngine, payload, now: float) -> None:
@@ -731,7 +811,8 @@ class TemporalAlignmentControllerShim:
     and the intent explicit.
     """
 
-    def __new__(cls, config, arrived_requests):
+    def __new__(cls, config, arrived_requests, tracer=None, registry=None):
         from repro.core.temporal_alignment import TemporalAlignmentController
 
-        return TemporalAlignmentController(config, arrived_requests)
+        return TemporalAlignmentController(config, arrived_requests,
+                                           tracer=tracer, registry=registry)

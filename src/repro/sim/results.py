@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.energy.accounting import EnergyBreakdown, TimeBreakdown
+from repro.obs.metrics import MetricsReport
 
 
 @dataclass
@@ -61,6 +62,9 @@ class SimulationResult:
     timeline: dict[int, list[tuple[float, float, float]]] | None = None
     #: Per-chip total energy (joules), index = chip id.
     chip_energy: list[float] = field(default_factory=list)
+    #: The run's metrics snapshot (counters, histograms, per-chip state
+    #: residency, transition counts); see :mod:`repro.obs.metrics`.
+    metrics: MetricsReport | None = None
 
     def hottest_chips(self, count: int = 3) -> list[tuple[int, float]]:
         """The ``count`` chips consuming the most energy, descending.

@@ -46,6 +46,7 @@ def simulate(
     cp_limit: float | None = None,
     seed: int = 0,
     record_timeline: bool = False,
+    tracer=None,
 ) -> SimulationResult:
     """Run one simulation of ``trace`` under ``technique``.
 
@@ -65,6 +66,10 @@ def simulate(
         record_timeline: record per-chip busy intervals on the result
             (fluid engine only) for
             :func:`repro.analysis.timeline.render_heatmap`.
+        tracer: optional :class:`~repro.obs.tracer.Tracer` receiving the
+            run's structured events (power-state spans, TA decisions,
+            slack charges, migrations); ``None`` or a disabled tracer
+            costs nothing.
 
     Returns:
         The :class:`~repro.sim.results.SimulationResult`.
@@ -82,10 +87,12 @@ def simulate(
         from repro.sim.fluid import FluidEngine
 
         return FluidEngine(trace, config, technique=technique, seed=seed,
-                           record_timeline=record_timeline).run()
+                           record_timeline=record_timeline,
+                           tracer=tracer).run()
     if record_timeline:
         raise ConfigurationError(
             "record_timeline is only supported by the fluid engine")
     from repro.sim.precise import PreciseEngine
 
-    return PreciseEngine(trace, config, technique=technique, seed=seed).run()
+    return PreciseEngine(trace, config, technique=technique, seed=seed,
+                         tracer=tracer).run()

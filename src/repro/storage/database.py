@@ -17,6 +17,7 @@ requests — the effect Figure 9 quantifies.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,6 +27,8 @@ from repro.errors import ConfigurationError
 from repro.traces.distributions import ZipfSampler, poisson_times, rank_permutation
 from repro.traces.records import ClientRequest, DMATransfer, ProcessorBurst, SOURCE_NETWORK
 from repro.traces.trace import Trace
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -145,6 +148,9 @@ class DatabaseServer:
                 0.8 * transfer_cycles, during)
 
         duration = max(duration, max((r.time for r in records), default=0.0))
+        logger.debug("database workload: %d transactions, %d proc "
+                     "accesses over %.1f ms (seed=%d)", len(arrivals),
+                     proc_total, p.duration_ms, self.seed)
         return Trace(
             name=name,
             records=records,

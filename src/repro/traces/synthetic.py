@@ -10,6 +10,8 @@ processor accesses per transfer (Figure 9), and the transfer geometry.
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 
 from repro import units
@@ -23,6 +25,8 @@ from repro.traces.records import (
     SOURCE_NETWORK,
 )
 from repro.traces.trace import Trace
+
+logger = logging.getLogger(__name__)
 
 
 def synthetic_storage_trace(
@@ -84,6 +88,9 @@ def synthetic_storage_trace(
         ))
 
     duration = max(duration, max((r.time for r in records), default=0.0))
+    logger.debug("synthetic_storage_trace: %d transfers over %.1f ms "
+                 "(seed=%d, %d pages)", len(records), duration_ms, seed,
+                 num_pages)
     return Trace(
         name=name,
         records=list(records),
@@ -183,6 +190,9 @@ def synthetic_database_trace(
                 0.8 * transfer_cycles, during)
 
     duration = max(duration, max((r.time for r in records), default=0.0))
+    logger.debug("synthetic_database_trace: %d records (%d proc accesses) "
+                 "over %.1f ms (seed=%d)", len(records), proc_total,
+                 duration_ms, seed)
     return Trace(
         name=name,
         records=records,

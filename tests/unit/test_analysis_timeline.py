@@ -46,6 +46,25 @@ class TestBucketize:
         with pytest.raises(ConfigurationError):
             bucketize([], 100.0, 0.0, 4)
 
+    def test_empty_interval_list(self):
+        assert bucketize([], 0.0, 100.0, 4) == [0.0, 0.0, 0.0, 0.0]
+
+    def test_zero_width_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bucketize([(0.0, 10.0, 1.0)], 50.0, 50.0, 4)
+
+    def test_interval_entirely_past_window(self):
+        loads = bucketize([(200.0, 300.0, 1.0)], 0.0, 100.0, 2)
+        assert loads == [0.0, 0.0]
+
+    def test_interval_entirely_before_window(self):
+        loads = bucketize([(-300.0, -200.0, 1.0)], 0.0, 100.0, 2)
+        assert loads == [0.0, 0.0]
+
+    def test_zero_width_interval_contributes_nothing(self):
+        loads = bucketize([(50.0, 50.0, 1.0)], 0.0, 100.0, 2)
+        assert loads == [0.0, 0.0]
+
 
 class TestRendering:
     def test_row_uses_shades(self):
@@ -70,6 +89,21 @@ class TestRendering:
         shares = activity_share({0: [(0.0, 25.0, 0.5)], 1: []}, 100.0)
         assert shares[0] == pytest.approx(0.25)
         assert shares[1] == 0.0
+
+    def test_activity_share_empty_intervals(self):
+        assert activity_share({0: []}, 100.0) == {0: 0.0}
+
+    def test_activity_share_zero_duration(self):
+        shares = activity_share({0: [(0.0, 25.0, 0.5)]}, 0.0)
+        assert shares[0] == 0.0
+
+    def test_activity_share_interval_past_duration(self):
+        # An interval starting at/after the horizon is excluded; one
+        # straddling it is clipped to the horizon.
+        shares = activity_share(
+            {0: [(200.0, 300.0, 1.0)], 1: [(50.0, 150.0, 1.0)]}, 100.0)
+        assert shares[0] == 0.0
+        assert shares[1] == pytest.approx(0.5)
 
 
 class TestRecording:

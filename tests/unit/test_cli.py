@@ -1,8 +1,12 @@
 """Units for the command-line interface."""
 
+import json
+import logging
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs.export import validate_chrome_trace
 from repro.traces.io import read_trace
 
 
@@ -104,6 +108,7 @@ class TestCompareAndSweep:
                      "--technique", "dma-ta", "--jobs", "2"]) == 0
         out = capsys.readouterr().out
         assert "0.05" in out and "0.2" in out
+        assert "workers:" in out and "jobs computed" in out
 
     def test_sweep_cache_cold_then_warm(self, trace_file, tmp_path, capsys):
         cache_dir = tmp_path / "cache"
@@ -113,6 +118,7 @@ class TestCompareAndSweep:
         assert main(argv) == 0
         cold = capsys.readouterr().out
         assert "0 hits" in cold and "2 stores" in cold
+        assert "0 evictions" in cold and "0 corrupt" in cold
         assert cache_dir.is_dir()
         assert main(argv) == 0
         warm = capsys.readouterr().out
@@ -129,6 +135,74 @@ class TestCompareAndSweep:
                      "--technique", "dma-ta", "--no-cache"]) == 0
         assert not (tmp_path / "cache").exists()
         assert "cache:" not in capsys.readouterr().out
+
+
+class TestTraceVerb:
+    def test_writes_valid_chrome_trace(self, trace_file, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", str(trace_file), "--mu", "50",
+                     "--out", str(out_path)]) == 0
+        obj = json.loads(out_path.read_text())
+        assert validate_chrome_trace(obj) == []
+        assert obj["otherData"]["label"] == "Synthetic-St"
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert "ui.perfetto.dev" in out
+
+    def test_precise_engine(self, trace_file, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", str(trace_file), "--engine", "precise",
+                     "--mu", "50", "--out", str(out_path)]) == 0
+        assert validate_chrome_trace(
+            json.loads(out_path.read_text())) == []
+
+
+class TestStatsVerb:
+    def test_prints_metrics_report(self, trace_file, capsys):
+        assert main(["stats", str(trace_file), "--technique", "dma-ta",
+                     "--mu", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "sim.transfers" in out
+        assert "per-chip state residency" in out
+
+    def test_baseline_has_transitions(self, trace_file, capsys):
+        assert main(["stats", str(trace_file)]) == 0
+        assert "power transitions:" in capsys.readouterr().out
+
+
+class TestLogLevel:
+    def test_flag_enables_debug_diagnostics(self, tmp_path, capsys):
+        # basicConfig only installs a handler on a bare root logger, so
+        # clear pytest's capture handlers for the duration of the call.
+        root = logging.getLogger()
+        level, handlers = root.level, list(root.handlers)
+        for handler in handlers:
+            root.removeHandler(handler)
+        try:
+            path = tmp_path / "t.jsonl"
+            assert main(["--log-level", "debug", "generate", "synthetic-st",
+                         "-o", str(path), "--duration-ms", "1"]) == 0
+            err = capsys.readouterr().err
+            assert "DEBUG repro.traces.synthetic" in err
+        finally:
+            for handler in list(root.handlers):
+                root.removeHandler(handler)
+            for handler in handlers:
+                root.addHandler(handler)
+            root.setLevel(level)
+
+    def test_rejects_unknown_level(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--log-level", "loud", "generate", "synthetic-st",
+                  "-o", "x"])
+
+    def test_env_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "warning")
+        from repro.cli import build_parser as rebuild
+
+        args = rebuild().parse_args(["generate", "synthetic-st", "-o", "x"])
+        assert args.log_level == "warning"
 
 
 class TestCalibrate:

@@ -133,6 +133,35 @@ class TestDeduplicationAndOrdering:
             ["pl", "baseline", "nopm"]
 
 
+class TestWallTimes:
+    def test_computed_jobs_record_wall_seconds(self):
+        jobs = [SimJob(tiny_trace(), "baseline", config=tiny_config()),
+                SimJob(tiny_trace(), "pl", config=tiny_config())]
+        outcomes = run_many(jobs)
+        assert all(o.ok for o in outcomes)
+        assert all(o.wall_s > 0.0 for o in outcomes)
+
+    def test_dedup_followers_have_zero_wall(self):
+        jobs = [SimJob(tiny_trace(), "baseline", config=tiny_config()),
+                SimJob(tiny_trace(), "baseline", config=tiny_config(),
+                       tag="duplicate")]
+        first, follower = run_many(jobs)
+        assert first.wall_s > 0.0
+        assert follower.wall_s == 0.0
+        assert follower.result is first.result
+
+    def test_cache_hits_have_zero_wall(self, tmp_path):
+        from repro.exec.cache import ResultCache
+
+        jobs = [SimJob(tiny_trace(), "baseline", config=tiny_config())]
+        cache = ResultCache(tmp_path / "cache")
+        (cold,) = run_many(jobs, cache=cache)
+        assert cold.wall_s > 0.0 and not cold.from_cache
+        (warm,) = run_many(jobs, cache=ResultCache(tmp_path / "cache"))
+        assert warm.from_cache
+        assert warm.wall_s == 0.0
+
+
 class TestEagerValidation:
     def test_bad_spec_raises_before_any_execution(self):
         calls = []

@@ -1,0 +1,154 @@
+"""Units for the Chrome-trace exporter, validator, and residency fold."""
+
+import json
+
+import pytest
+
+from repro.obs.events import Event, PH_SPAN
+from repro.obs.export import (
+    RESIDENCY_BUCKETS,
+    chrome_trace,
+    residency_from_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.tracer import RingTracer
+
+
+def sample_events():
+    tracer = RingTracer()
+    tracer.span(0.0, 100.0, "serve", "chip:0", {"bucket": "serving_dma"})
+    tracer.span(100.0, 50.0, "nap", "chip:0", {"bucket": "low_power"})
+    tracer.span(0.0, 80.0, "transfer", "bus:1", {"bytes": 8192})
+    tracer.instant(60.0, "ta.release", "controller", {"batch": 3})
+    tracer.counter(100.0, "slack", "controller", 12.5)
+    return tracer.events
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        obj = chrome_trace(sample_events(), frequency_hz=1e6, label="demo")
+        assert obj["displayTimeUnit"] == "ms"
+        assert obj["otherData"]["label"] == "demo"
+        assert obj["otherData"]["frequency_hz"] == 1e6
+        assert validate_chrome_trace(obj) == []
+
+    def test_cycle_to_microsecond_scaling(self):
+        # 1 MHz clock: one cycle is one microsecond.
+        obj = chrome_trace(sample_events(), frequency_hz=1e6)
+        spans = [e for e in obj["traceEvents"] if e["ph"] == "X"]
+        serve = next(e for e in spans if e["name"] == "serve")
+        assert serve["ts"] == pytest.approx(0.0)
+        assert serve["dur"] == pytest.approx(100.0)
+
+    def test_track_to_pid_tid_mapping(self):
+        obj = chrome_trace(sample_events(), frequency_hz=1e6)
+        events = obj["traceEvents"]
+        serve = next(e for e in events if e["name"] == "serve")
+        transfer = next(e for e in events if e["name"] == "transfer")
+        release = next(e for e in events if e["name"] == "ta.release")
+        assert serve["pid"] == 1 and serve["tid"] == 0
+        assert transfer["pid"] == 2 and transfer["tid"] == 1
+        assert release["pid"] == 3
+        assert release["s"] == "t"
+
+    def test_metadata_names_every_track(self):
+        obj = chrome_trace(sample_events(), frequency_hz=1e6)
+        meta = [e for e in obj["traceEvents"] if e["ph"] == "M"]
+        thread_names = {e["args"]["name"] for e in meta
+                        if e["name"] == "thread_name"}
+        process_names = {e["args"]["name"] for e in meta
+                         if e["name"] == "process_name"}
+        assert {"chip 0", "bus 1", "controller"} <= thread_names
+        assert {"memory chips", "I/O buses", "policies"} <= process_names
+
+    def test_counter_events_carry_value(self):
+        obj = chrome_trace(sample_events(), frequency_hz=1e6)
+        counter = next(e for e in obj["traceEvents"] if e["ph"] == "C")
+        assert counter["args"] == {"value": 12.5}
+
+    def test_json_serialisable(self):
+        json.dumps(chrome_trace(sample_events()))
+
+    def test_empty_stream(self):
+        obj = chrome_trace([])
+        assert obj["traceEvents"] == []
+        assert validate_chrome_trace(obj) == []
+
+
+class TestWriteChromeTrace:
+    def test_writes_loadable_json(self, tmp_path):
+        path = write_chrome_trace(sample_events(), tmp_path / "trace.json",
+                                  frequency_hz=1e6, label="unit")
+        obj = json.loads(path.read_text())
+        assert validate_chrome_trace(obj) == []
+        assert obj["otherData"]["label"] == "unit"
+
+
+class TestValidateChromeTrace:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([1, 2]) == ["top level is not an object"]
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({}) == [
+            "traceEvents is missing or not an array"]
+        assert validate_chrome_trace({"traceEvents": "nope"}) == [
+            "traceEvents is missing or not an array"]
+
+    def test_flags_bad_phase(self):
+        obj = {"traceEvents": [{"name": "x", "ph": "Q", "pid": 1, "tid": 0,
+                                "ts": 0}]}
+        assert any("bad ph" in p for p in validate_chrome_trace(obj))
+
+    def test_flags_span_without_duration(self):
+        obj = {"traceEvents": [{"name": "x", "ph": "X", "pid": 1, "tid": 0,
+                                "ts": 0}]}
+        assert any("bad dur" in p for p in validate_chrome_trace(obj))
+
+    def test_flags_negative_timestamp(self):
+        obj = {"traceEvents": [{"name": "x", "ph": "i", "pid": 1, "tid": 0,
+                                "ts": -1, "s": "t"}]}
+        assert any("bad ts" in p for p in validate_chrome_trace(obj))
+
+    def test_flags_missing_pid_and_name(self):
+        obj = {"traceEvents": [{"ph": "i", "ts": 0}]}
+        problems = validate_chrome_trace(obj)
+        assert any("missing name" in p for p in problems)
+        assert any("missing pid" in p for p in problems)
+        assert any("missing tid" in p for p in problems)
+
+    def test_metadata_needs_no_timestamp(self):
+        obj = {"traceEvents": [{"name": "process_name", "ph": "M",
+                                "pid": 1, "tid": 0, "args": {"name": "x"}}]}
+        assert validate_chrome_trace(obj) == []
+
+
+class TestResidencyFromEvents:
+    def test_single_bucket_spans(self):
+        events = [
+            Event(ts=0.0, name="nap", track="chip:0", ph=PH_SPAN, dur=40.0,
+                  args={"bucket": "low_power"}),
+            Event(ts=40.0, name="transition", track="chip:0", ph=PH_SPAN,
+                  dur=10.0, args={"bucket": "transition"}),
+        ]
+        residency = residency_from_events(events)
+        assert residency[0]["low_power"] == 40.0
+        assert residency[0]["transition"] == 10.0
+        assert set(residency[0]) == set(RESIDENCY_BUCKETS)
+
+    def test_busy_span_with_splits(self):
+        events = [Event(
+            ts=0.0, name="active", track="chip:1", ph=PH_SPAN, dur=100.0,
+            args={"serving_dma": 60.0, "idle_dma": 40.0})]
+        residency = residency_from_events(events)
+        assert residency[1]["serving_dma"] == 60.0
+        assert residency[1]["idle_dma"] == 40.0
+
+    def test_ignores_non_chip_and_non_span(self):
+        events = [
+            Event(ts=0.0, name="transfer", track="bus:0", ph=PH_SPAN,
+                  dur=5.0, args={"bucket": "serving_dma"}),
+            Event(ts=0.0, name="ta.release", track="controller",
+                  args={"batch": 2}),
+        ]
+        assert residency_from_events(events) == {}
