@@ -15,7 +15,14 @@ from repro.analysis.tables import format_table
 from repro.config import BusConfig, SimulationConfig
 from repro.traces.synthetic import synthetic_storage_trace
 
-from benchmarks.common import BENCH_MS, percent, save_report
+from benchmarks.common import (
+    BENCH_MS,
+    Stopwatch,
+    metric,
+    percent,
+    save_record,
+    save_report,
+)
 
 
 def test_ablation_bus_sharing(benchmark):
@@ -34,7 +41,9 @@ def test_ablation_bus_sharing(benchmark):
                              ta.utilization_factor)
         return rows
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    watch = Stopwatch()
+    with watch.phase("sweep"):
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     text = format_table(
         ["bus sharing", "baseline mJ", "DMA-TA savings", "DMA-TA uf"],
         [[name, f"{e * 1e3:.3f}", percent(s), f"{uf:.3f}"]
@@ -42,6 +51,16 @@ def test_ablation_bus_sharing(benchmark):
         title="Ablation: bus arbitration model (paper assumes FIFO-style "
               "full-rate streams)")
     save_report("ablation_bus_sharing", text)
+
+    metrics = []
+    for name, (energy, savings, uf) in rows.items():
+        metrics.extend([
+            metric(f"{name}/baseline_mJ", energy * 1e3, unit="mJ"),
+            metric(f"{name}/dma-ta", savings, unit="fraction"),
+            metric(f"{name}/dma-ta_uf", uf, unit="uf"),
+        ])
+    save_record("ablation_bus_sharing", "ablation_bus_sharing", metrics,
+                phases=watch.phases)
 
     # FIFO (the paper's model) must give DMA-TA at least as much benefit.
     assert rows["fifo"][1] >= rows["fair"][1] - 0.02

@@ -16,7 +16,13 @@ from repro.energy.policies import StaticPolicy, default_dynamic_policy
 from repro.energy.rdram import rdram_1600_model
 from repro.energy.states import PowerState
 
-from benchmarks.common import BENCH_MS, get_trace, save_report
+from benchmarks.common import (
+    Stopwatch,
+    get_trace,
+    metric,
+    save_record,
+    save_report,
+)
 
 
 def test_ablation_low_level_policies(benchmark):
@@ -43,7 +49,9 @@ def test_ablation_low_level_policies(benchmark):
                                      technique="baseline")
         return results
 
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    watch = Stopwatch()
+    with watch.phase("sweep"):
+        results = benchmark.pedantic(sweep, rounds=1, iterations=1)
 
     rows = [[name, f"{r.energy_joules * 1e3:.3f}", r.wakes]
             for name, r in results.items()]
@@ -52,6 +60,16 @@ def test_ablation_low_level_policies(benchmark):
         title="Low-level policy ablation (dynamic < static < always-on; "
               "threshold scaling is second order for DMA traffic)")
     save_report("ablation_policies", text)
+
+    metrics = []
+    for name, r in results.items():
+        slug = name.replace(" ", "_").replace("(", "").replace(")", "")
+        metrics.extend([
+            metric(f"{slug}/energy_mJ", r.energy_joules * 1e3, unit="mJ"),
+            metric(f"{slug}/wakes", r.wakes, unit="count"),
+        ])
+    save_record("ablation_policies", "ablation_policies", metrics,
+                phases=watch.phases)
 
     energy = {name: r.energy_joules for name, r in results.items()}
     assert energy["dynamic (break-even)"] < energy["static standby"]
@@ -84,8 +102,10 @@ def test_ablation_opportunistic_migration(benchmark):
                                  technique="dma-ta-pl", cp_limit=0.10)
         return standard, opportunistic
 
-    standard, opportunistic = benchmark.pedantic(sweep, rounds=1,
-                                                 iterations=1)
+    watch = Stopwatch()
+    with watch.phase("sweep"):
+        standard, opportunistic = benchmark.pedantic(sweep, rounds=1,
+                                                     iterations=1)
     rows = []
     for name, r in (("standard copies", standard),
                     ("opportunistic copies", opportunistic)):
@@ -95,6 +115,20 @@ def test_ablation_opportunistic_migration(benchmark):
         ["migration mode", "savings @10%", "migration mJ", "moves"],
         rows, title="Section 4.2.2 ablation: opportunistic page copies")
     save_report("ablation_opportunistic_migration", text)
+
+    metrics = []
+    for name, r in (("standard", standard),
+                    ("opportunistic", opportunistic)):
+        metrics.extend([
+            metric(f"{name}/savings", r.energy_savings_vs(baseline),
+                   unit="fraction"),
+            metric(f"{name}/migration_mJ", r.energy.migration * 1e3,
+                   unit="mJ"),
+            metric(f"{name}/migrations", r.migrations, unit="count"),
+        ])
+    save_record("ablation_opportunistic_migration",
+                "ablation_opportunistic_migration", metrics,
+                phases=watch.phases)
 
     assert (opportunistic.energy_savings_vs(baseline)
             >= standard.energy_savings_vs(baseline) - 0.005)

@@ -12,7 +12,7 @@ from repro import simulate
 from repro.analysis.tables import format_table
 from repro.traces.synthetic import synthetic_storage_trace
 
-from benchmarks.common import save_report
+from benchmarks.common import Stopwatch, metric, save_record, save_report
 
 DURATION_MS = 2.0
 
@@ -21,13 +21,16 @@ def test_engine_agreement_and_speed(benchmark):
     trace = synthetic_storage_trace(duration_ms=DURATION_MS,
                                     transfers_per_ms=100, seed=51)
 
-    start = time.perf_counter()
-    precise = simulate(trace, technique="baseline", engine="precise")
-    precise_s = time.perf_counter() - start
+    watch = Stopwatch()
+    with watch.phase("precise"):
+        start = time.perf_counter()
+        precise = simulate(trace, technique="baseline", engine="precise")
+        precise_s = time.perf_counter() - start
 
-    fluid = benchmark.pedantic(
-        lambda: simulate(trace, technique="baseline", engine="fluid"),
-        rounds=1, iterations=1)
+    with watch.phase("fluid"):
+        fluid = benchmark.pedantic(
+            lambda: simulate(trace, technique="baseline", engine="fluid"),
+            rounds=1, iterations=1)
     start = time.perf_counter()
     simulate(trace, technique="baseline", engine="fluid")
     fluid_s = time.perf_counter() - start
@@ -48,6 +51,21 @@ def test_engine_agreement_and_speed(benchmark):
         title=f"Engine cross-validation on {DURATION_MS} ms of "
               f"Synthetic-St ({precise.requests} DMA-memory requests)")
     save_report("engines", text)
+
+    energy_delta = abs(1 - fluid.energy_joules / precise.energy_joules)
+    metrics = [
+        # Perfect agreement would be a zero relative energy delta.
+        metric("fluid_vs_precise/energy_delta", energy_delta,
+               unit="fraction", expected=0.0),
+        metric("fluid_vs_precise/uf_delta",
+               abs(fluid.utilization_factor - precise.utilization_factor),
+               unit="uf"),
+        metric("fluid_vs_precise/speedup",
+               precise_s / max(fluid_s, 1e-9), unit="x"),
+        metric("fluid/wall_s", fluid_s, unit="s"),
+        metric("precise/wall_s", precise_s, unit="s"),
+    ]
+    save_record("engines", "engines", metrics, phases=watch.phases)
 
     assert abs(1 - fluid.energy_joules / precise.energy_joules) < 0.03
     assert precise_s > fluid_s

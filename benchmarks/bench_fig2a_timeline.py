@@ -12,7 +12,7 @@ from repro.analysis.tables import format_table
 from repro.traces.records import DMATransfer
 from repro.traces.trace import Trace
 
-from benchmarks.common import save_report
+from benchmarks.common import Stopwatch, metric, save_record, save_report
 
 
 def _trace() -> Trace:
@@ -22,10 +22,14 @@ def _trace() -> Trace:
 
 
 def test_fig2a_timeline(benchmark):
-    precise = benchmark.pedantic(
-        lambda: simulate(_trace(), technique="baseline", engine="precise"),
-        rounds=1, iterations=1)
-    fluid = simulate(_trace(), technique="baseline", engine="fluid")
+    watch = Stopwatch()
+    with watch.phase("precise"):
+        precise = benchmark.pedantic(
+            lambda: simulate(_trace(), technique="baseline",
+                             engine="precise"),
+            rounds=1, iterations=1)
+    with watch.phase("fluid"):
+        fluid = simulate(_trace(), technique="baseline", engine="fluid")
 
     rows = []
     for result in (fluid, precise):
@@ -44,6 +48,20 @@ def test_fig2a_timeline(benchmark):
         title="Figure 2(a): paper predicts 4 serve + 8 idle = 12-cycle "
               "period, uf = 1/3")
     save_report("fig2a_timeline", text)
+
+    metrics = []
+    for result in (fluid, precise):
+        serve = result.time.serving_dma / result.requests
+        idle = result.time.idle_dma / result.requests
+        metrics.extend([
+            metric(f"{result.engine}/serve_cycles_per_req", serve,
+                   unit="cycles", expected=4.0),
+            metric(f"{result.engine}/idle_cycles_per_req", idle,
+                   unit="cycles", expected=8.0),
+            metric(f"{result.engine}/uf", result.utilization_factor,
+                   unit="uf", expected=1 / 3),
+        ])
+    save_record("fig2a_timeline", "fig2a", metrics, phases=watch.phases)
 
     for result in (fluid, precise):
         assert abs(result.time.serving_dma / result.requests - 4.0) < 0.01

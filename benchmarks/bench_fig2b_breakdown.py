@@ -11,17 +11,26 @@ mismatch.
 
 from repro.analysis.tables import format_breakdown
 
-from benchmarks.common import get_trace, run_cached, save_report
+from benchmarks.common import (
+    Stopwatch,
+    get_trace,
+    metric,
+    run_cached,
+    save_record,
+    save_report,
+)
 
 
 def test_fig2b_breakdown(benchmark):
     names = ("OLTP-St", "OLTP-Db", "Synthetic-St", "Synthetic-Db")
     traces = {name: get_trace(name) for name in names}
 
-    results = benchmark.pedantic(
-        lambda: {name: run_cached(traces[name], "baseline")
-                 for name in names},
-        rounds=1, iterations=1)
+    watch = Stopwatch()
+    with watch.phase("runs"):
+        results = benchmark.pedantic(
+            lambda: {name: run_cached(traces[name], "baseline")
+                     for name in names},
+            rounds=1, iterations=1)
 
     text = format_breakdown(
         [results[name] for name in names], labels=list(names),
@@ -31,6 +40,23 @@ def test_fig2b_breakdown(benchmark):
               "so their powerdown floor weighs more — the idle:serving "
               "2:1 ratio is the load-bearing shape)")
     save_report("fig2b_breakdown", text)
+
+    # Paper bands (Synthetic-St runs at the published 100 transfers/ms):
+    # idle-DMA 48-51%, serving 26-27%, threshold 3-4% — band midpoints.
+    paper = {"idle_dma": 0.495, "serving_dma": 0.265,
+             "idle_threshold": 0.035}
+    metrics = []
+    for name in names:
+        fractions = results[name].energy.fractions()
+        for bucket in ("serving_dma", "idle_dma", "idle_threshold",
+                       "transition", "low_power"):
+            expected = paper.get(bucket) if name == "Synthetic-St" else None
+            metrics.append(metric(f"{name}/{bucket}", fractions[bucket],
+                                  unit="fraction", expected=expected))
+        metrics.append(metric(f"{name}/total_mJ",
+                              results[name].energy_joules * 1e3,
+                              unit="mJ"))
+    save_record("fig2b_breakdown", "fig2b", metrics, phases=watch.phases)
 
     # The 3:1 bandwidth mismatch pins idle-DMA ~ 2x serving everywhere
     # DMA traffic dominates.

@@ -9,13 +9,21 @@ generator.
 from repro.analysis.tables import format_table
 from repro.traces.stats import popularity_cdf, top_fraction_access_share
 
-from benchmarks.common import get_trace, save_report
+from benchmarks.common import (
+    Stopwatch,
+    get_trace,
+    metric,
+    save_record,
+    save_report,
+)
 
 
 def test_fig4_popularity_cdf(benchmark):
     trace = get_trace("OLTP-St")
-    cdf = benchmark.pedantic(lambda: popularity_cdf(trace, points=20),
-                             rounds=1, iterations=1)
+    watch = Stopwatch()
+    with watch.phase("cdf"):
+        cdf = benchmark.pedantic(lambda: popularity_cdf(trace, points=20),
+                                 rounds=1, iterations=1)
 
     rows = [[f"{x * 100:.0f}%", f"{y * 100:.1f}%"] for x, y in cdf]
     top20 = top_fraction_access_share(trace, 0.2)
@@ -24,6 +32,13 @@ def test_fig4_popularity_cdf(benchmark):
         title=f"Figure 4: OLTP-St popularity CDF "
               f"(paper: 20% -> ~60%; measured 20% -> {top20 * 100:.1f}%)")
     save_report("fig4_popularity_cdf", text)
+
+    metrics = [metric("top20_access_share", top20, unit="fraction",
+                      expected=0.60)]
+    metrics += [metric(f"cdf@{x:.0%}", y, unit="fraction")
+                for x, y in cdf]
+    save_record("fig4_popularity_cdf", "fig4", metrics,
+                phases=watch.phases)
 
     ys = [y for _, y in cdf]
     assert ys == sorted(ys), "CDF must be monotone"

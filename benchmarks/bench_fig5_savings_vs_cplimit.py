@@ -17,15 +17,24 @@ from repro.sim.run import simulate
 
 from benchmarks.common import (
     CP_LIMITS,
+    Stopwatch,
     get_trace,
+    metric,
     percent,
     prefetch_grid,
     run_cached,
+    save_record,
     save_report,
 )
 
 TRACES = ("OLTP-St", "Synthetic-St", "OLTP-Db", "Synthetic-Db")
 TECHNIQUES = ("dma-ta", "dma-ta-pl")
+
+#: Paper-published Figure 5 points (OLTP-St): technique -> {cp: savings}.
+PAPER_SAVINGS = {
+    "dma-ta": {0.02: 0.06, 0.30: 0.248},
+    "dma-ta-pl": {0.02: 0.194, 0.10: 0.386, 0.30: 0.445},
+}
 
 
 def test_fig5_savings_vs_cplimit(benchmark):
@@ -50,7 +59,9 @@ def test_fig5_savings_vs_cplimit(benchmark):
                     )
         return table
 
-    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    watch = Stopwatch()
+    with watch.phase("sweep"):
+        table = benchmark.pedantic(sweep, rounds=1, iterations=1)
 
     rows = []
     for name in TRACES:
@@ -79,6 +90,23 @@ def test_fig5_savings_vs_cplimit(benchmark):
         title="Measured client-perceived degradation (must stay below "
               "each CP-Limit)")
     save_report("fig5_savings_vs_cplimit", text)
+
+    metrics = []
+    for name in TRACES:
+        for technique in TECHNIQUES:
+            for cp in CP_LIMITS:
+                savings, degradation, _ = table[(name, technique, cp)]
+                expected = (PAPER_SAVINGS[technique].get(cp)
+                            if name == "OLTP-St" else None)
+                metrics.append(metric(
+                    f"{name}/{technique}/cp={cp:g}", savings,
+                    unit="fraction", expected=expected))
+                if technique == "dma-ta-pl":
+                    metrics.append(metric(
+                        f"{name}/degradation/cp={cp:g}", degradation,
+                        unit="fraction"))
+    save_record("fig5_savings_vs_cplimit", "fig5", metrics,
+                phases=watch.phases)
 
     # Shape assertions.
     for name in ("Synthetic-St",):
@@ -135,13 +163,25 @@ def test_fig5_group_count_ablation(benchmark):
                                result.migrations)
         return savings
 
-    savings = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    watch = Stopwatch()
+    with watch.phase("sweep"):
+        savings = benchmark.pedantic(sweep, rounds=1, iterations=1)
     text = format_table(
         ["PL groups", "savings at CP=10%", "page moves"],
         [[g, percent(s), m] for g, (s, m) in sorted(savings.items())],
         title="Figure 5 inset: group-count ablation on a multi-chip hot "
               "set (paper: 38.6% / 33.4% / -15.2% for 2 / 3 / 6 groups)")
     save_report("fig5_group_ablation", text)
+
+    paper = {2: 0.386, 3: 0.334, 6: -0.152}
+    metrics = []
+    for groups, (s, moves) in sorted(savings.items()):
+        metrics.append(metric(f"groups={groups}/savings", s,
+                              unit="fraction", expected=paper[groups]))
+        metrics.append(metric(f"groups={groups}/migrations", moves,
+                              unit="pages"))
+    save_record("fig5_group_ablation", "fig5", metrics,
+                phases=watch.phases)
 
     assert savings[2][0] >= savings[6][0] - 0.01
     assert savings[6][1] >= savings[2][1], \

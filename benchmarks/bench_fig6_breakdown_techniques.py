@@ -9,7 +9,14 @@ under DMA-TA and shrinks further under DMA-TA-PL, transitions drop
 
 from repro.analysis.tables import format_breakdown, format_table
 
-from benchmarks.common import get_trace, run_cached, save_report
+from benchmarks.common import (
+    Stopwatch,
+    get_trace,
+    metric,
+    run_cached,
+    save_record,
+    save_report,
+)
 
 
 def test_fig6_breakdown_techniques(benchmark):
@@ -20,7 +27,10 @@ def test_fig6_breakdown_techniques(benchmark):
                 run_cached(trace, "dma-ta", cp_limit=0.10),
                 run_cached(trace, "dma-ta-pl", cp_limit=0.10))
 
-    baseline, ta, tapl = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    watch = Stopwatch()
+    with watch.phase("runs"):
+        baseline, ta, tapl = benchmark.pedantic(run_all, rounds=1,
+                                                iterations=1)
 
     text = format_breakdown(
         [baseline, ta, tapl],
@@ -33,6 +43,23 @@ def test_fig6_breakdown_techniques(benchmark):
          ["DMA-TA-PL", tapl.wakes, tapl.migrations]],
         title="Transition and migration activity")
     save_report("fig6_breakdown_techniques", text)
+
+    metrics = []
+    for label, result in (("baseline", baseline), ("dma-ta", ta),
+                          ("dma-ta-pl", tapl)):
+        metrics.extend([
+            metric(f"{label}/total_mJ", result.energy_joules * 1e3,
+                   unit="mJ"),
+            metric(f"{label}/idle_dma_mJ",
+                   result.energy.idle_dma * 1e3, unit="mJ"),
+            metric(f"{label}/serving_dma_mJ",
+                   result.energy.serving_dma * 1e3, unit="mJ"),
+            metric(f"{label}/wakes", result.wakes, unit="count"),
+        ])
+    metrics.append(metric("dma-ta-pl/migration_mJ",
+                          tapl.energy.migration * 1e3, unit="mJ"))
+    save_record("fig6_breakdown_techniques", "fig6", metrics,
+                phases=watch.phases)
 
     # Serving energy identical; idle-DMA strictly decreasing.
     assert abs(ta.energy.serving_dma - baseline.energy.serving_dma) < 1e-9

@@ -8,7 +8,16 @@ savings show.
 
 from repro.analysis.tables import format_table
 
-from benchmarks.common import CP_LIMITS, get_trace, percent, run_cached, save_report
+from benchmarks.common import (
+    CP_LIMITS,
+    Stopwatch,
+    get_trace,
+    metric,
+    percent,
+    run_cached,
+    save_record,
+    save_report,
+)
 
 
 def test_fig7_utilization(benchmark):
@@ -23,7 +32,9 @@ def test_fig7_utilization(benchmark):
                 series[(technique, cp)] = result.utilization_factor
         return series
 
-    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    watch = Stopwatch()
+    with watch.phase("sweep"):
+        series = benchmark.pedantic(sweep, rounds=1, iterations=1)
 
     rows = []
     for technique in ("dma-ta", "dma-ta-pl"):
@@ -37,6 +48,18 @@ def test_fig7_utilization(benchmark):
               f"(baseline uf = {series['baseline']:.3f}; paper: 0.33 "
               f"baseline, 0.63 @10%, 0.75 @30% for DMA-TA-PL)")
     save_report("fig7_utilization", text)
+
+    paper_tapl = {0.10: 0.63, 0.30: 0.75}
+    metrics = [metric("baseline/uf", series["baseline"], unit="uf",
+                      expected=1 / 3)]
+    for technique in ("dma-ta", "dma-ta-pl"):
+        for cp in CP_LIMITS:
+            expected = (paper_tapl.get(cp)
+                        if technique == "dma-ta-pl" else None)
+            metrics.append(metric(f"{technique}/uf/cp={cp:g}",
+                                  series[(technique, cp)], unit="uf",
+                                  expected=expected))
+    save_record("fig7_utilization", "fig7", metrics, phases=watch.phases)
 
     assert abs(series["baseline"] - 1 / 3) < 0.05
     tapl = [series[("dma-ta-pl", cp)] for cp in CP_LIMITS]

@@ -17,7 +17,14 @@ from repro import simulate
 from repro.analysis.tables import format_table
 from repro.traces.synthetic import synthetic_storage_trace
 
-from benchmarks.common import BENCH_MS, percent, save_report
+from benchmarks.common import (
+    BENCH_MS,
+    Stopwatch,
+    metric,
+    percent,
+    save_record,
+    save_report,
+)
 
 RATES = (25.0, 50.0, 100.0, 150.0, 200.0)
 CP = 0.10
@@ -40,7 +47,9 @@ def test_fig8_intensity(benchmark):
                           baseline.utilization_factor)
         return rows
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    watch = Stopwatch()
+    with watch.phase("sweep"):
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
 
     text = format_table(
         ["transfers/ms", "DMA-TA savings", "DMA-TA-PL savings",
@@ -50,6 +59,15 @@ def test_fig8_intensity(benchmark):
         title="Figure 8: savings vs workload intensity at CP-Limit 10% "
               "(paper: savings grow with intensity, flattening at the top)")
     save_report("fig8_intensity", text)
+
+    metrics = []
+    for rate, (ta, tapl, uf) in sorted(rows.items()):
+        metrics.extend([
+            metric(f"rate={rate:g}/dma-ta", ta, unit="fraction"),
+            metric(f"rate={rate:g}/dma-ta-pl", tapl, unit="fraction"),
+            metric(f"rate={rate:g}/baseline_uf", uf, unit="uf"),
+        ])
+    save_record("fig8_intensity", "fig8", metrics, phases=watch.phases)
 
     ta_series = [rows[rate][0] for rate in RATES]
     assert ta_series[0] < ta_series[2], "low intensity must save less"

@@ -11,7 +11,14 @@ from repro import simulate
 from repro.analysis.tables import format_table
 from repro.traces.synthetic import synthetic_database_trace
 
-from benchmarks.common import BENCH_MS, percent, save_report
+from benchmarks.common import (
+    BENCH_MS,
+    Stopwatch,
+    metric,
+    percent,
+    save_record,
+    save_report,
+)
 
 PROC_COUNTS = (0, 50, 100, 233, 500)
 CP = 0.10
@@ -30,7 +37,9 @@ def test_fig9_proc_accesses(benchmark):
                            baseline.utilization_factor)
         return rows
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    watch = Stopwatch()
+    with watch.phase("sweep"):
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
 
     text = format_table(
         ["proc accesses / transfer", "DMA-TA-PL savings", "baseline uf"],
@@ -40,6 +49,15 @@ def test_fig9_proc_accesses(benchmark):
               "CP-Limit 10% (paper: savings drop but stay significant; "
               "OLTP-Db sits at 233)")
     save_report("fig9_proc_accesses", text)
+
+    metrics = []
+    for count, (savings, uf) in sorted(rows.items()):
+        metrics.extend([
+            metric(f"proc={count}/dma-ta-pl", savings, unit="fraction"),
+            metric(f"proc={count}/baseline_uf", uf, unit="uf"),
+        ])
+    save_record("fig9_proc_accesses", "fig9", metrics,
+                phases=watch.phases)
 
     assert rows[0][0] > rows[500][0], "proc accesses must erode savings"
     assert rows[500][0] > -0.05, "savings should not collapse"

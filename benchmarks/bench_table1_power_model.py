@@ -11,7 +11,7 @@ from repro.energy.rdram import rdram_1600_model
 from repro.energy.states import LOW_POWER_STATES, PowerState
 from repro.memory.chip import ChipRates, FluidChip
 
-from benchmarks.common import save_report
+from benchmarks.common import Stopwatch, metric, save_record, save_report
 
 
 def _table1_text() -> str:
@@ -52,8 +52,25 @@ def test_table1_power_model(benchmark):
         state["t"] += 1000.0
         chip.advance(state["t"])
 
-    benchmark.pedantic(step, rounds=200, iterations=1)
+    watch = Stopwatch()
+    with watch.phase("accrual"):
+        benchmark.pedantic(step, rounds=200, iterations=1)
     save_report("table1_power_model", _table1_text())
+
+    metrics = [
+        metric("power/active", model.power(PowerState.ACTIVE), unit="W",
+               expected=0.300),
+        metric("power/powerdown", model.power(PowerState.POWERDOWN),
+               unit="W", expected=0.003),
+    ]
+    for state in LOW_POWER_STATES:
+        metrics.append(metric(f"power/{state.value}", model.power(state),
+                              unit="W"))
+        metrics.append(metric(f"break_even/{state.value}",
+                              break_even_cycles(model, state),
+                              unit="cycles"))
+    save_record("table1_power_model", "table1", metrics,
+                phases=watch.phases)
 
     # Sanity: the published numbers survived transcription.
     assert model.power(PowerState.ACTIVE) == 0.300

@@ -12,19 +12,31 @@ from repro.analysis.tables import format_table
 from repro.traces.oltp import oltp_storage_trace
 from repro.traces.stats import characterize
 
-from benchmarks.common import BENCH_MS, get_trace, save_report
+from benchmarks.common import (
+    BENCH_MS,
+    Stopwatch,
+    get_trace,
+    metric,
+    save_record,
+    save_report,
+)
 
 TRACES = ("OLTP-St", "Synthetic-St", "OLTP-Db", "Synthetic-Db")
 
 
 def test_table2_traces(benchmark):
-    benchmark.pedantic(
-        lambda: oltp_storage_trace(duration_ms=min(BENCH_MS, 10.0), seed=99),
-        rounds=1, iterations=1)
+    watch = Stopwatch()
+    with watch.phase("generate"):
+        benchmark.pedantic(
+            lambda: oltp_storage_trace(duration_ms=min(BENCH_MS, 10.0),
+                                       seed=99),
+            rounds=1, iterations=1)
 
     rows = []
+    by_name = {}
     for name in TRACES:
         stats = characterize(get_trace(name))
+        by_name[name] = stats
         rows.append([
             name,
             f"{stats.duration_ms:.1f}",
@@ -41,6 +53,28 @@ def test_table2_traces(benchmark):
         rows, title="Table 2 (regenerated; paper: OLTP-St 45.0+16.7/ms, "
                     "OLTP-Db 100/ms & 233 proc/transfer)")
     save_report("table2_traces", text)
+
+    metrics = []
+    for name in TRACES:
+        stats = by_name[name]
+        # Published rates exist only for the OLTP traces.
+        net_expected = 45.0 if name == "OLTP-St" else None
+        disk_expected = 16.7 if name == "OLTP-St" else None
+        proc_expected = 233.0 if name == "OLTP-Db" else None
+        metrics.extend([
+            metric(f"{name}/net_transfers_per_ms",
+                   stats.net_transfers_per_ms, unit="1/ms",
+                   expected=net_expected),
+            metric(f"{name}/disk_transfers_per_ms",
+                   stats.disk_transfers_per_ms, unit="1/ms",
+                   expected=disk_expected),
+            metric(f"{name}/proc_accesses_per_transfer",
+                   stats.proc_accesses_per_transfer, unit="count",
+                   expected=proc_expected),
+            metric(f"{name}/top20_access_fraction",
+                   stats.top20_access_fraction, unit="fraction"),
+        ])
+    save_record("table2_traces", "table2", metrics, phases=watch.phases)
 
     st = characterize(get_trace("OLTP-St"))
     assert 30 <= st.net_transfers_per_ms <= 60

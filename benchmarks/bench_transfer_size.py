@@ -16,7 +16,14 @@ from repro.analysis.tables import format_table
 from repro.traces.synthetic import synthetic_storage_trace
 from repro.traces.transform import resize_transfers
 
-from benchmarks.common import BENCH_MS, percent, save_report
+from benchmarks.common import (
+    BENCH_MS,
+    Stopwatch,
+    metric,
+    percent,
+    save_record,
+    save_report,
+)
 
 SIZES = (512, 2048, 8192, 32768)
 
@@ -38,7 +45,9 @@ def test_transfer_size_sensitivity(benchmark):
                           ta.energy_savings_vs(baseline))
         return rows
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    watch = Stopwatch()
+    with watch.phase("sweep"):
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
 
     text = format_table(
         ["transfer B", "active cycles/transfer", "baseline uf",
@@ -48,6 +57,20 @@ def test_transfer_size_sensitivity(benchmark):
         title="Transfer-size sensitivity (paper: a 512-B transfer keeps "
               "the chip active 768 cycles; geometry is size-invariant)")
     save_report("transfer_size", text)
+
+    metrics = []
+    for size, (cycles, uf, savings) in sorted(rows.items()):
+        # Section 3's worked example pins only the 512-byte case.
+        metrics.extend([
+            metric(f"size={size}/active_cycles_per_transfer", cycles,
+                   unit="cycles",
+                   expected=768.0 if size == 512 else None),
+            metric(f"size={size}/baseline_uf", uf, unit="uf",
+                   expected=1 / 3),
+            metric(f"size={size}/dma-ta", savings, unit="fraction"),
+        ])
+    save_record("transfer_size", "transfer_size", metrics,
+                phases=watch.phases)
 
     # The 512-byte case: 64 requests x ~12 cycles ~= 768 active cycles.
     assert rows[512][0] == pytest.approx(768, rel=0.15)

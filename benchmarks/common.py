@@ -3,8 +3,13 @@
 Each bench regenerates one of the paper's tables or figures: it runs the
 simulations under ``pytest-benchmark`` (one round — these are full
 simulations, not microbenchmarks), prints the regenerated rows/series,
-and archives them under ``benchmarks/results/`` so the EXPERIMENTS.md
-numbers can be traced to a run.
+and archives them under ``benchmarks/results/`` **twice**: the
+human-readable table as ``<name>.txt`` and a schema-versioned
+:class:`repro.bench.BenchRecord` as ``<name>.json`` — the machine-
+readable record that ``repro bench compare`` classifies against the
+committed ``BENCH_<figure>.json`` trajectories (see docs/BENCHMARKS.md).
+Both writes are atomic (temp file + rename), so an interrupted bench can
+never leave a truncated artifact that later parses as a bogus baseline.
 
 Simulation runs go through :mod:`repro.exec`: every run is memoised by
 its *content* key (trace bytes + canonical config + technique params),
@@ -19,15 +24,26 @@ parallel executor. Knobs (see docs/EXECUTION.md):
   (default 1 = serial).
 * ``REPRO_BENCH_CACHE`` — set to 1 to persist results in the on-disk
   cache (``$REPRO_CACHE_DIR`` or ``.repro_cache/``) across sessions.
+* ``REPRO_PROFILE`` — set to 1 to wrap every engine run in cProfile;
+  the merged hot paths land in each bench's JSON record.
 """
 
 from __future__ import annotations
 
+import datetime
 import os
+import platform
+import tempfile
+import time
+from contextlib import contextmanager
 from pathlib import Path
 
+from repro import __version__
+from repro.bench import BenchRecord, Metric, Phase
+from repro.bench.trajectory import write_json_atomic
 from repro.config import SimulationConfig
 from repro.exec import ResultCache, SimJob, run_many
+from repro.obs.perf import merge_profiles
 from repro.sim.results import SimulationResult
 from repro.traces.oltp import oltp_database_trace, oltp_storage_trace
 from repro.traces.synthetic import synthetic_database_trace, synthetic_storage_trace
@@ -53,6 +69,51 @@ _TRACE_CACHE: dict[str, Trace] = {}
 _RUN_CACHE: dict[str, SimulationResult] = {}
 #: The shared on-disk cache (None when REPRO_BENCH_CACHE is off).
 DISK_CACHE: ResultCache | None = ResultCache() if BENCH_CACHE else None
+
+
+class _SessionStats:
+    """Per-record accumulators for the bench session.
+
+    ``run_cached`` / ``prefetch_grid`` feed it executor outcomes; each
+    :func:`save_record` call drains the accumulated state, so counters
+    and wall-clock attribute to the bench that triggered the work even
+    though the memo is shared across benches.
+    """
+
+    def __init__(self) -> None:
+        self.sim_wall_s = 0.0
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.disk_base: dict[str, int] = self._disk_counts()
+        self.profiles: list[list[dict]] = []
+
+    @staticmethod
+    def _disk_counts() -> dict[str, int]:
+        return DISK_CACHE.stats.as_dict() if DISK_CACHE else {}
+
+    def note_outcomes(self, outcomes) -> None:
+        for outcome in outcomes:
+            self.sim_wall_s += outcome.wall_s
+            if outcome.ok and outcome.result.profile:
+                self.profiles.append(outcome.result.profile)
+
+    def drain(self) -> tuple[float, dict[str, int], list[dict] | None]:
+        """(simulate wall, cache counters, merged profile) since last."""
+        wall = self.sim_wall_s
+        counts = {"memo_hits": self.memo_hits,
+                  "memo_misses": self.memo_misses}
+        disk_now = self._disk_counts()
+        for key, value in disk_now.items():
+            counts[f"disk_{key}"] = value - self.disk_base.get(key, 0)
+        profile = merge_profiles(self.profiles) if self.profiles else None
+        self.sim_wall_s = 0.0
+        self.memo_hits = self.memo_misses = 0
+        self.disk_base = disk_now
+        self.profiles = []
+        return wall, counts, profile
+
+
+_SESSION = _SessionStats()
 
 
 def get_trace(name: str, **overrides) -> Trace:
@@ -96,9 +157,13 @@ def run_cached(trace: Trace, technique: str,
                  tag=label or "")
     key = job.key()
     if key not in _RUN_CACHE:
+        _SESSION.memo_misses += 1
         outcomes = run_many([job], cache=DISK_CACHE)
         _require(outcomes)
+        _SESSION.note_outcomes(outcomes)
         _RUN_CACHE[key] = outcomes[0].result
+    else:
+        _SESSION.memo_hits += 1
     return _RUN_CACHE[key]
 
 
@@ -122,18 +187,101 @@ def prefetch_grid(traces, techniques, cp_limits,
                 jobs.append(SimJob(trace, technique, config=config,
                                    cp_limit=cp,
                                    tag=f"{trace.name}:cp={cp:g}"))
+    _SESSION.memo_misses += len({job.key() for job in jobs}
+                                - set(_RUN_CACHE))
     outcomes = run_many(jobs, max_workers=BENCH_JOBS, cache=DISK_CACHE)
     _require(outcomes)
+    _SESSION.note_outcomes(outcomes)
     for outcome in outcomes:
         _RUN_CACHE[outcome.key] = outcome.result
 
 
 def save_report(name: str, text: str) -> None:
-    """Print the regenerated table and archive it under results/."""
+    """Print the regenerated table and archive it under results/.
+
+    The archive write is atomic: the text lands in a temp file in the
+    same directory and is renamed into place, so an interrupted bench
+    never leaves a truncated ``.txt``.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    path = RESULTS_DIR / f"{name}.txt"
+    fd, tmp_name = tempfile.mkstemp(dir=RESULTS_DIR, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     print(f"\n===== {name} =====")
     print(text)
+
+
+class Stopwatch:
+    """Named wall-clock phases for one bench's JSON record."""
+
+    def __init__(self) -> None:
+        self._phases: list[tuple[str, float]] = []
+
+    @contextmanager
+    def phase(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._phases.append((name, time.perf_counter() - start))
+
+    @property
+    def phases(self) -> list[tuple[str, float]]:
+        return list(self._phases)
+
+
+def metric(name: str, value: float, unit: str = "",
+           expected: float | None = None) -> Metric:
+    """One record metric; ``expected`` is the paper's published value."""
+    return Metric(name=name, value=float(value), unit=unit,
+                  expected=expected)
+
+
+def save_record(name: str, figure: str, metrics: list[Metric],
+                phases: list[tuple[str, float]] | None = None) -> Path:
+    """Archive one bench run as ``results/<name>.json`` (atomically).
+
+    ``phases`` are the bench's own stopwatch phases; a ``simulate``
+    phase holding the executor wall-clock accumulated from
+    :attr:`repro.exec.runner.JobOutcome.wall_s` since the previous
+    record is appended automatically, as are the cache counters and
+    (when ``REPRO_PROFILE=1``) the merged hot paths of the profiled
+    runs.
+    """
+    sim_wall, cache_counts, profile = _SESSION.drain()
+    all_phases = [Phase(name=pname, wall_s=wall)
+                  for pname, wall in (phases or [])]
+    if sim_wall > 0:
+        all_phases.append(Phase(name="simulate", wall_s=sim_wall))
+    record = BenchRecord(
+        name=name, figure=figure,
+        created=datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds"),
+        meta={
+            "bench_ms": BENCH_MS,
+            "jobs": BENCH_JOBS,
+            "disk_cache": BENCH_CACHE,
+            "python": platform.python_version(),
+            "repro": __version__,
+        },
+        metrics=list(metrics),
+        phases=all_phases,
+        cache=cache_counts,
+        profile=profile,
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    write_json_atomic(path, record.to_dict())
+    return path
 
 
 def percent(value: float) -> str:

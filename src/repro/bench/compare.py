@@ -1,0 +1,265 @@
+"""The regression comparator: fresh bench records vs the trajectory.
+
+Classification is per metric, per record, against the *matching* runs of
+the committed trajectory (same record name, same ``bench_ms`` — a 5 ms
+smoke run is never judged against a 25 ms baseline). Two metric families
+are compared:
+
+* **performance** — the record's total wall-clock (lower is better);
+* **fidelity** — the absolute relative deviation of every paper-tied
+  metric (lower is better: the reproduction moved toward or away from
+  the published number).
+
+The noise band around the baseline is robust: the centre is the
+**median** over the baseline runs and the half-width is the largest of
+``mad_k`` x **MAD** (median absolute deviation — outlier-immune), a
+relative tolerance, and an absolute floor. With a single committed run
+(MAD degenerates to 0) or a zero-variance history, the configured
+tolerances alone carry the band, so one seeded baseline is enough to
+start gating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping, Sequence
+
+from repro.bench.record import BenchRecord
+
+#: Classification outcomes, ordered from good to bad.
+IMPROVED = "improved"
+UNCHANGED = "unchanged"
+REGRESSED = "regressed"
+NO_BASELINE = "no-baseline"
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Per-figure noise-band configuration.
+
+    Attributes:
+        wall_rel: relative half-width for wall-time (0.6 = a run must be
+            >60% slower than the baseline median to regress).
+        wall_abs_s: absolute wall-time floor in seconds, so micro-phases
+            whose jitter exceeds their duration never gate.
+        fidelity_abs: absolute half-width on |relative deviation| from
+            the paper value (0.02 = two percentage points of deviation).
+        mad_k: how many MADs of baseline scatter widen the band.
+    """
+
+    wall_rel: float = 0.60
+    wall_abs_s: float = 0.25
+    fidelity_abs: float = 0.02
+    mad_k: float = 3.0
+
+
+#: The default band, applied when a figure has no override.
+DEFAULT_TOLERANCE = Tolerance()
+
+#: Figure-specific overrides. The engine cross-validation bench measures
+#: a wall-clock *ratio* as its headline fidelity metric, so its fidelity
+#: band is wider; table1 regenerates exact published constants, so its
+#: fidelity band is tight.
+FIGURE_TOLERANCES: dict[str, Tolerance] = {
+    "engines": replace(DEFAULT_TOLERANCE, fidelity_abs=0.05),
+    "table1": replace(DEFAULT_TOLERANCE, fidelity_abs=0.001),
+}
+
+
+def median(values: Sequence[float]) -> float:
+    """Plain median (no statistics dependency in hot import paths)."""
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("median of no values")
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(values: Sequence[float]) -> float:
+    """Median absolute deviation around the median (0 for <2 values)."""
+    if len(values) < 2:
+        return 0.0
+    centre = median(values)
+    return median([abs(v - centre) for v in values])
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One metric's classification against its baseline distribution."""
+
+    figure: str
+    record: str
+    metric: str          # "wall_s" or "fidelity:<metric name>"
+    kind: str            # "performance" | "fidelity"
+    value: float
+    status: str          # IMPROVED / UNCHANGED / REGRESSED / NO_BASELINE
+    baseline_median: float | None = None
+    band: float = 0.0    # half-width actually applied
+    baseline_runs: int = 0
+
+    def describe(self) -> str:
+        if self.status == NO_BASELINE:
+            return (f"{self.record}/{self.metric}: {self.value:.4g} "
+                    f"(no comparable baseline)")
+        return (f"{self.record}/{self.metric}: {self.value:.4g} vs "
+                f"median {self.baseline_median:.4g} "
+                f"+/- {self.band:.4g} over {self.baseline_runs} run(s) "
+                f"-> {self.status}")
+
+
+@dataclass
+class Comparison:
+    """The full result of one compare pass."""
+
+    verdicts: list[Verdict] = field(default_factory=list)
+
+    def of_status(self, status: str) -> list[Verdict]:
+        return [v for v in self.verdicts if v.status == status]
+
+    @property
+    def regressions(self) -> list[Verdict]:
+        return self.of_status(REGRESSED)
+
+    @property
+    def improvements(self) -> list[Verdict]:
+        return self.of_status(IMPROVED)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def summary(self) -> str:
+        counts = {status: len(self.of_status(status))
+                  for status in (IMPROVED, UNCHANGED, REGRESSED,
+                                 NO_BASELINE)}
+        return (f"{counts[IMPROVED]} improved, "
+                f"{counts[UNCHANGED]} unchanged, "
+                f"{counts[REGRESSED]} regressed, "
+                f"{counts[NO_BASELINE]} without baseline")
+
+
+def classify(value: float, baseline: Sequence[float], *,
+             rel_tol: float, abs_tol: float, mad_k: float) -> tuple[str, float, float]:
+    """Classify one lower-is-better value against its baseline history.
+
+    Returns ``(status, baseline_median, band_half_width)``. The band is
+    ``max(mad_k * MAD, rel_tol * |median|, abs_tol)`` — robust scatter
+    when history exists, configured tolerance when it does not (single
+    committed run, or a zero-variance history).
+    """
+    centre = median(baseline)
+    band = max(mad_k * mad(baseline), rel_tol * abs(centre), abs_tol)
+    if value > centre + band:
+        return REGRESSED, centre, band
+    if value < centre - band:
+        return IMPROVED, centre, band
+    return UNCHANGED, centre, band
+
+
+def _matching_baselines(candidate: BenchRecord,
+                        history: Iterable[BenchRecord]) -> list[BenchRecord]:
+    """Baseline runs comparable to ``candidate`` (name and bench_ms)."""
+    want_ms = candidate.bench_ms
+    out = []
+    for run in history:
+        if run.name != candidate.name:
+            continue
+        have_ms = run.bench_ms
+        if want_ms is not None and have_ms is not None \
+                and abs(want_ms - have_ms) > 1e-9:
+            continue
+        out.append(run)
+    return out
+
+
+def compare_records(
+    candidates: Iterable[BenchRecord],
+    trajectories: Mapping[str, list[BenchRecord]],
+    tolerances: Mapping[str, Tolerance] | None = None,
+    wall_rel: float | None = None,
+) -> Comparison:
+    """Classify every candidate record against the committed trajectory.
+
+    Args:
+        candidates: fresh records (one bench run).
+        trajectories: ``figure -> committed runs`` (see
+            :func:`repro.bench.trajectory.load_all_trajectories`).
+        tolerances: per-figure overrides; defaults to
+            :data:`FIGURE_TOLERANCES` over :data:`DEFAULT_TOLERANCE`.
+        wall_rel: global override of the wall-time relative tolerance
+            (the ``--wall-tolerance`` CLI flag).
+    """
+    tolerances = tolerances if tolerances is not None else FIGURE_TOLERANCES
+    comparison = Comparison()
+    for candidate in candidates:
+        tol = tolerances.get(candidate.figure, DEFAULT_TOLERANCE)
+        if wall_rel is not None:
+            tol = replace(tol, wall_rel=wall_rel)
+        history = _matching_baselines(
+            candidate, trajectories.get(candidate.figure, []))
+        comparison.verdicts.append(
+            _judge_wall(candidate, history, tol))
+        comparison.verdicts.extend(
+            _judge_fidelity(candidate, history, tol))
+    return comparison
+
+
+def _judge_wall(candidate: BenchRecord, history: list[BenchRecord],
+                tol: Tolerance) -> Verdict:
+    base = dict(figure=candidate.figure, record=candidate.name,
+                metric="wall_s", kind="performance",
+                value=candidate.wall_s)
+    walls = [run.wall_s for run in history if run.phases]
+    if not walls or not candidate.phases:
+        return Verdict(status=NO_BASELINE, **base)
+    status, centre, band = classify(
+        candidate.wall_s, walls, rel_tol=tol.wall_rel,
+        abs_tol=tol.wall_abs_s, mad_k=tol.mad_k)
+    return Verdict(status=status, baseline_median=centre, band=band,
+                   baseline_runs=len(walls), **base)
+
+
+def _judge_fidelity(candidate: BenchRecord, history: list[BenchRecord],
+                    tol: Tolerance) -> list[Verdict]:
+    verdicts = []
+    for name, deviation in candidate.deviations().items():
+        base = dict(figure=candidate.figure, record=candidate.name,
+                    metric=f"fidelity:{name}", kind="fidelity",
+                    value=abs(deviation))
+        baseline = [abs(run.deviations()[name]) for run in history
+                    if name in run.deviations()]
+        if not baseline:
+            verdicts.append(Verdict(status=NO_BASELINE, **base))
+            continue
+        status, centre, band = classify(
+            abs(deviation), baseline, rel_tol=0.0,
+            abs_tol=tol.fidelity_abs, mad_k=tol.mad_k)
+        verdicts.append(Verdict(
+            status=status, baseline_median=centre, band=band,
+            baseline_runs=len(baseline), **base))
+    return verdicts
+
+
+def render_comparison(comparison: Comparison, verbose: bool = False) -> str:
+    """Human-readable compare output (regressions always itemised)."""
+    lines = [f"bench compare: {comparison.summary()}"]
+    shown = comparison.verdicts if verbose else comparison.regressions
+    for verdict in shown:
+        marker = {REGRESSED: "!", IMPROVED: "+",
+                  UNCHANGED: "=", NO_BASELINE: "?"}[verdict.status]
+        lines.append(f"  {marker} [{verdict.figure}] {verdict.describe()}")
+    if not verbose and comparison.improvements:
+        lines.append("  improvements:")
+        for verdict in comparison.improvements:
+            lines.append(f"  + [{verdict.figure}] {verdict.describe()}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "IMPROVED", "UNCHANGED", "REGRESSED", "NO_BASELINE",
+    "Tolerance", "DEFAULT_TOLERANCE", "FIGURE_TOLERANCES",
+    "median", "mad", "classify", "Verdict", "Comparison",
+    "compare_records", "render_comparison",
+]

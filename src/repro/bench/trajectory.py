@@ -1,0 +1,159 @@
+"""Trajectory files: the committed bench history, one file per figure.
+
+``BENCH_<figure>.json`` at the repository root holds the append-only run
+history of every record belonging to that figure. The files are the
+*baseline* side of ``repro bench compare``: a fresh run's records (under
+``benchmarks/results/*.json``) are classified against the trajectory's
+committed entries, and ``repro bench update-baseline`` appends the fresh
+records so they become the baseline for the next change.
+
+All writes are atomic (temp file + rename): an interrupted update can
+never leave a truncated trajectory that later parses as a bogus
+baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import re
+import tempfile
+from pathlib import Path
+from typing import Iterable
+
+from repro.bench.record import SCHEMA_VERSION, BenchRecord
+from repro.errors import BenchFormatError
+
+logger = logging.getLogger(__name__)
+
+#: Trajectory file name pattern at the repository root.
+TRAJECTORY_PATTERN = "BENCH_*.json"
+
+#: Keep at most this many runs per record name in one trajectory file.
+MAX_RUNS_PER_RECORD = 50
+
+
+def trajectory_path(figure: str, root: str | Path = ".") -> Path:
+    """Where the trajectory of ``figure`` lives under ``root``."""
+    safe = re.sub(r"[^A-Za-z0-9_.-]", "_", figure)
+    return Path(root) / f"BENCH_{safe}.json"
+
+
+def write_json_atomic(path: str | Path, payload: object) -> Path:
+    """Serialise ``payload`` to ``path`` via a temp file + rename."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=False)
+            handle.write("\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_trajectory(path: str | Path) -> list[BenchRecord]:
+    """Every run recorded in one trajectory file, oldest first.
+
+    Raises:
+        BenchFormatError: when the file is not valid JSON, not a
+            trajectory object, or holds records of a different schema
+            generation. A missing file is simply an empty trajectory.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return []
+    try:
+        obj = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise BenchFormatError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(obj, dict) or not isinstance(obj.get("runs"), list):
+        raise BenchFormatError(f"{path}: not a trajectory object "
+                               "(expected {'schema', 'figure', 'runs'})")
+    if obj.get("schema") != SCHEMA_VERSION:
+        raise BenchFormatError(
+            f"{path}: trajectory schema {obj.get('schema')!r} is not the "
+            f"supported version {SCHEMA_VERSION}")
+    return [BenchRecord.from_dict(entry, where=f"{path}: runs[{index}]")
+            for index, entry in enumerate(obj["runs"])]
+
+
+def append_records(records: Iterable[BenchRecord],
+                   root: str | Path = ".") -> list[Path]:
+    """Append ``records`` to their figures' trajectory files.
+
+    Records are grouped by figure; each figure file is rewritten once,
+    atomically, with the new runs appended in order. Per record name the
+    history is capped at :data:`MAX_RUNS_PER_RECORD` (oldest dropped), so
+    trajectory files stay reviewable in a diff.
+
+    Returns the list of paths written.
+    """
+    by_figure: dict[str, list[BenchRecord]] = {}
+    for record in records:
+        by_figure.setdefault(record.figure, []).append(record)
+    written: list[Path] = []
+    for figure, fresh in by_figure.items():
+        path = trajectory_path(figure, root)
+        runs = load_trajectory(path) + fresh
+        runs = _cap_history(runs)
+        write_json_atomic(path, {
+            "schema": SCHEMA_VERSION,
+            "figure": figure,
+            "runs": [r.to_dict() for r in runs],
+        })
+        logger.info("trajectory %s: now %d runs", path, len(runs))
+        written.append(path)
+    return written
+
+
+def _cap_history(runs: list[BenchRecord]) -> list[BenchRecord]:
+    """Drop the oldest runs beyond the per-record-name cap."""
+    counts: dict[str, int] = {}
+    for run in runs:
+        counts[run.name] = counts.get(run.name, 0) + 1
+    kept: list[BenchRecord] = []
+    for run in runs:
+        if counts[run.name] > MAX_RUNS_PER_RECORD:
+            counts[run.name] -= 1
+            continue
+        kept.append(run)
+    return kept
+
+
+def load_all_trajectories(root: str | Path = ".") -> dict[str, list[BenchRecord]]:
+    """``figure -> runs`` over every ``BENCH_*.json`` under ``root``."""
+    out: dict[str, list[BenchRecord]] = {}
+    for path in sorted(Path(root).glob(TRAJECTORY_PATTERN)):
+        runs = load_trajectory(path)
+        if runs:
+            out[runs[0].figure] = runs
+    return out
+
+
+def load_result_records(results_dir: str | Path) -> list[BenchRecord]:
+    """Every ``*.json`` record under a bench results directory."""
+    records: list[BenchRecord] = []
+    for path in sorted(Path(results_dir).glob("*.json")):
+        try:
+            obj = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise BenchFormatError(f"{path}: not valid JSON ({exc})") from exc
+        records.append(BenchRecord.from_dict(obj, where=str(path)))
+    return records
+
+
+__all__ = [
+    "MAX_RUNS_PER_RECORD", "TRAJECTORY_PATTERN", "trajectory_path",
+    "write_json_atomic", "load_trajectory", "append_records",
+    "load_all_trajectories", "load_result_records",
+]

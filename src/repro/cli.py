@@ -15,10 +15,15 @@ Examples::
     repro calibrate st.jsonl --cp-limit 0.1
     repro trace st.jsonl --technique dma-ta-pl --out trace.json
     repro stats st.jsonl --technique dma-ta-pl
+    repro bench run --quick
+    repro bench compare --fail-on-regression
+    repro bench report -o bench_report.html
 
 ``--log-level`` (or the ``REPRO_LOG_LEVEL`` environment variable) turns
 on stdlib logging for every ``repro.*`` module — executor pool
 fallbacks, cache corruption warnings, trace-generator diagnostics.
+``--profile`` on the run verbs (or ``REPRO_PROFILE=1``) wraps engine
+runs in cProfile; see :mod:`repro.obs.perf`.
 """
 
 from __future__ import annotations
@@ -89,6 +94,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="raw per-request degradation parameter")
     sim.add_argument("--seed", type=int, default=0,
                      help="page-layout seed")
+    sim.add_argument("--profile", action="store_true",
+                     help="profile the engine run and print the top "
+                          "hot paths (see also $REPRO_PROFILE)")
 
     compare = commands.add_parser(
         "compare", help="baseline vs DMA-TA vs DMA-TA-PL on one trace")
@@ -125,6 +133,9 @@ def build_parser() -> argparse.ArgumentParser:
     trace_cmd.add_argument("--out", required=True,
                            help="output trace file (load it at "
                                 "https://ui.perfetto.dev)")
+    trace_cmd.add_argument("--profile", action="store_true",
+                           help="profile the engine run and attach a "
+                                "'profile' track to the export")
 
     stats = commands.add_parser(
         "stats", help="run one simulation and print its metrics report")
@@ -135,6 +146,12 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--cp-limit", type=float, default=None)
     stats.add_argument("--mu", type=float, default=None)
     stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument("--histogram", action="append", default=None,
+                       metavar="NAME",
+                       help="print the full digest of this histogram "
+                            "(repeatable); a missing histogram warns "
+                            "instead of failing — e.g. ta.batch_size "
+                            "is only recorded when DMA-TA runs")
 
     calibrate = commands.add_parser(
         "calibrate", help="show the mu a CP-Limit translates to")
@@ -147,6 +164,10 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--cp-limits", default="0.02,0.05,0.1,0.2,0.3")
     report.add_argument("-o", "--output", default=None,
                         help="also write the report to this file")
+
+    from repro.bench.cli import add_bench_parser
+
+    add_bench_parser(commands)
 
     return parser
 
@@ -195,11 +216,22 @@ def _cmd_characterize(args) -> int:
     return 0
 
 
+def _print_profile(result, top: int = 10) -> None:
+    if not result.profile:
+        return
+    print("\nhot paths (cProfile, cumulative):")
+    for entry in result.profile[:top]:
+        print(f"  {entry['cum_s']:8.3f}s  {entry['ncalls']:>9}x  "
+              f"{entry['func']}")
+
+
 def _cmd_simulate(args) -> int:
     trace = read_trace(args.trace)
     result = simulate(trace, technique=args.technique, engine=args.engine,
-                      cp_limit=args.cp_limit, mu=args.mu, seed=args.seed)
+                      cp_limit=args.cp_limit, mu=args.mu, seed=args.seed,
+                      profile=args.profile or None)
     print(result.summary())
+    _print_profile(result)
     return 0
 
 
@@ -265,17 +297,22 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    from repro.obs import RingTracer, write_chrome_trace
+    from repro.obs import RingTracer, profile_events, write_chrome_trace
 
     trace = read_trace(args.trace)
     tracer = RingTracer()
     result = simulate(trace, technique=args.technique, engine=args.engine,
                       cp_limit=args.cp_limit, mu=args.mu, seed=args.seed,
-                      tracer=tracer)
-    path = write_chrome_trace(tracer.events, args.out, label=trace.name)
+                      tracer=tracer, profile=args.profile or None)
+    events = list(tracer.events)
+    if result.profile:
+        events.extend(profile_events(result.profile))
+    path = write_chrome_trace(events, args.out, label=trace.name)
     print(result.summary())
+    extra = (f", {len(result.profile)} profile spans"
+             if result.profile else "")
     print(f"\nwrote {path}: {len(tracer.events)} events "
-          f"({tracer.dropped} dropped) — load it at "
+          f"({tracer.dropped} dropped{extra}) — load it at "
           "https://ui.perfetto.dev")
     return 0
 
@@ -286,9 +323,25 @@ def _cmd_stats(args) -> int:
     trace = read_trace(args.trace)
     result = simulate(trace, technique=args.technique, engine=args.engine,
                       cp_limit=args.cp_limit, mu=args.mu, seed=args.seed)
-    print(render_metrics(
-        result.metrics,
-        title=f"{trace.name} / {args.technique} ({args.engine})"))
+    title = f"{trace.name} / {args.technique} ({args.engine})"
+    if result.metrics is None:
+        print("warning: this run recorded no metrics report",
+              file=sys.stderr)
+        print(f"{title}\n(no metrics recorded)")
+        return 0
+    print(render_metrics(result.metrics, title=title))
+    for name in args.histogram or ():
+        digest = result.metrics.histograms.get(name)
+        if digest is None:
+            have = ", ".join(sorted(result.metrics.histograms)) or "none"
+            print(f"warning: histogram {name!r} was not recorded by "
+                  f"this run (have: {have}) — e.g. ta.batch_size only "
+                  "exists when a DMA-TA technique runs", file=sys.stderr)
+            continue
+        print(f"\nhistogram {name}:")
+        for field in ("count", "total", "min", "max", "mean",
+                      "p50", "p90", "p99"):
+            print(f"  {field:<6} {getattr(digest, field):g}")
     return 0
 
 
@@ -326,6 +379,12 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench.cli import cmd_bench
+
+    return cmd_bench(args)
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "characterize": _cmd_characterize,
@@ -336,6 +395,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "calibrate": _cmd_calibrate,
     "report": _cmd_report,
+    "bench": _cmd_bench,
 }
 
 

@@ -37,3 +37,7 @@ class GuaranteeViolationError(SimulationError):
 
 class LayoutError(ReproError):
     """A page layout operation is invalid (unknown page, full chip, ...)."""
+
+
+class BenchFormatError(ReproError):
+    """A bench record or trajectory file is malformed or schema-stale."""

@@ -20,7 +20,8 @@ from repro.traces.trace import Trace
 #: Bump when the meaning of a cached result changes without the package
 #: version changing (result schema tweaks, canonicalisation fixes, ...).
 #: 2: SimulationResult gained the ``metrics`` report field.
-CACHE_SCHEMA_VERSION = 2
+#: 3: SimulationResult gained the ``profile`` hot-paths field.
+CACHE_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)

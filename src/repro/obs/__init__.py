@@ -15,6 +15,10 @@ The observability layer of the simulator:
 * **export** (:mod:`repro.obs.export`) — Chrome-trace/Perfetto JSON
   (``repro trace --out trace.json``; load it at https://ui.perfetto.dev)
   and plain-text summaries (``repro stats``).
+* **perf** (:mod:`repro.obs.perf`) — opt-in cProfile hooks around
+  engine runs (``REPRO_PROFILE=1`` / ``--profile``): folded hot paths on
+  every :class:`~repro.sim.results.SimulationResult` and an extra
+  ``profile`` track in the Perfetto export.
 
 See ``docs/OBSERVABILITY.md`` for the event schema and a Perfetto
 walkthrough.
@@ -27,10 +31,19 @@ from repro.obs.events import (
     TRACK_BUS,
     TRACK_CHIP,
     TRACK_CONTROLLER,
+    TRACK_PROFILE,
     TRACK_SIM,
     Event,
     bus_track,
     chip_track,
+)
+from repro.obs.perf import (
+    PROFILE_ENV,
+    fold_profile,
+    merge_profiles,
+    profile_events,
+    profiling_enabled,
+    run_profiled,
 )
 from repro.obs.export import (
     RESIDENCY_BUCKETS,
@@ -63,7 +76,10 @@ __all__ = [
     # events
     "Event", "PH_SPAN", "PH_INSTANT", "PH_COUNTER",
     "TRACK_CHIP", "TRACK_BUS", "TRACK_CONTROLLER", "TRACK_SIM",
-    "chip_track", "bus_track",
+    "TRACK_PROFILE", "chip_track", "bus_track",
+    # perf
+    "PROFILE_ENV", "profiling_enabled", "run_profiled", "fold_profile",
+    "merge_profiles", "profile_events",
     # tracers
     "Tracer", "NullTracer", "NULL_TRACER", "RingTracer", "JsonlTracer",
     "active_tracer", "events_of", "read_jsonl_events",

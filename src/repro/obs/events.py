@@ -36,6 +36,7 @@ TRACK_CHIP = "chip"
 TRACK_BUS = "bus"
 TRACK_CONTROLLER = "controller"
 TRACK_SIM = "sim"
+TRACK_PROFILE = "profile"
 
 
 @dataclass(slots=True)

@@ -33,6 +33,7 @@ from repro.obs.events import (
     PHASES,
     TRACK_BUS,
     TRACK_CHIP,
+    TRACK_PROFILE,
     Event,
 )
 
@@ -40,6 +41,7 @@ from repro.obs.events import (
 _PID_MEMORY = 1
 _PID_IO = 2
 _PID_POLICY = 3
+_PID_PROFILE = 4
 
 #: The time buckets a residency span may claim (TimeBreakdown fields).
 RESIDENCY_BUCKETS = ("serving_dma", "serving_proc", "idle_dma",
@@ -54,6 +56,8 @@ def _track_key(track: str) -> tuple[int, int, str]:
         return (_PID_MEMORY, int(index), f"chip {index}")
     if kind == TRACK_BUS and index.isdigit():
         return (_PID_IO, int(index), f"bus {index}")
+    if kind == TRACK_PROFILE:
+        return (_PID_PROFILE, 0, "hot paths (cProfile)")
     return (_PID_POLICY, 0, track)
 
 
@@ -105,7 +109,7 @@ def chrome_trace(events: Iterable[Event],
         trace_events.append(out)
 
     process_names = {_PID_MEMORY: "memory chips", _PID_IO: "I/O buses",
-                     _PID_POLICY: "policies"}
+                     _PID_POLICY: "policies", _PID_PROFILE: "profiler"}
     for pid in sorted({pid for pid, _, _ in tracks.values()}):
         trace_events.append({
             "name": "process_name", "ph": "M", "pid": pid, "tid": 0,

@@ -1,0 +1,145 @@
+"""Opt-in profiling hooks around engine runs.
+
+Set ``REPRO_PROFILE=1`` (or pass ``--profile`` to the CLI verbs /
+``profile=True`` to :func:`repro.simulate`) and every engine run is
+wrapped in :mod:`cProfile`. The folded top-N cumulative hot paths are
+attached to the run's :class:`~repro.sim.results.SimulationResult`
+(``result.profile``), flow into bench JSON records, and can be appended
+to the Perfetto export as a dedicated ``profile`` track
+(:func:`profile_events`).
+
+Profiling is strictly opt-in: when off, the only cost is one boolean
+check per :func:`repro.simulate` call. The folded entries are plain
+dicts (``func``/``ncalls``/``tot_s``/``cum_s``) so they pickle through
+the executor's worker processes and serialise to JSON unchanged.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+from typing import Any, Callable, TypeVar
+
+from repro import units
+from repro.obs.events import PH_SPAN, TRACK_PROFILE, Event
+
+T = TypeVar("T")
+
+#: Environment variable that switches profiling on globally.
+PROFILE_ENV = "REPRO_PROFILE"
+
+#: How many hot paths a folded profile keeps by default.
+DEFAULT_TOP_N = 20
+
+
+def profiling_enabled(override: bool | None = None) -> bool:
+    """Whether engine runs should be profiled.
+
+    ``override`` (a CLI/API flag) wins when not ``None``; otherwise the
+    :data:`PROFILE_ENV` environment variable decides — which is how the
+    setting reaches executor worker processes.
+    """
+    if override is not None:
+        return override
+    return os.environ.get(PROFILE_ENV, "").lower() not in (
+        "", "0", "no", "false")
+
+
+def fold_profile(profiler: cProfile.Profile,
+                 top_n: int = DEFAULT_TOP_N) -> list[dict[str, Any]]:
+    """The top-N cumulative hot paths of a finished profiler, as dicts.
+
+    Each entry: ``func`` (``file:line:name``, stdlib paths shortened),
+    ``ncalls`` (primitive calls), ``tot_s`` (self time), ``cum_s``
+    (cumulative time). Sorted by ``cum_s`` descending.
+    """
+    stats = pstats.Stats(profiler)
+    entries: list[dict[str, Any]] = []
+    for (filename, line, name), (cc, _nc, tt, ct, _callers) \
+            in stats.stats.items():  # type: ignore[attr-defined]
+        entries.append({
+            "func": _pretty_func(filename, line, name),
+            "ncalls": int(cc),
+            "tot_s": float(tt),
+            "cum_s": float(ct),
+        })
+    entries.sort(key=lambda e: (-e["cum_s"], e["func"]))
+    return entries[:top_n]
+
+
+def _pretty_func(filename: str, line: int, name: str) -> str:
+    if filename == "~":  # builtins
+        return name
+    parts = filename.replace(os.sep, "/").split("/")
+    # Shorten to the package-relative tail: .../repro/sim/fluid.py.
+    for anchor in ("repro", "benchmarks", "site-packages"):
+        if anchor in parts[:-1]:
+            parts = parts[parts.index(anchor):]
+            break
+    else:
+        parts = parts[-2:]
+    return f"{'/'.join(parts)}:{line}:{name}"
+
+
+def run_profiled(fn: Callable[[], T],
+                 top_n: int = DEFAULT_TOP_N) -> tuple[T, list[dict[str, Any]]]:
+    """Run ``fn`` under cProfile; returns ``(result, hot_paths)``."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+    return result, fold_profile(profiler, top_n=top_n)
+
+
+def merge_profiles(profiles: list[list[dict[str, Any]]],
+                   top_n: int = DEFAULT_TOP_N) -> list[dict[str, Any]]:
+    """Fold several runs' hot-path lists into one, summed by function.
+
+    Used by the bench layer: one bench executes many simulate() calls
+    (possibly in worker processes); the record carries one merged view.
+    """
+    merged: dict[str, dict[str, Any]] = {}
+    for entries in profiles:
+        for entry in entries:
+            slot = merged.setdefault(entry["func"], {
+                "func": entry["func"], "ncalls": 0,
+                "tot_s": 0.0, "cum_s": 0.0})
+            slot["ncalls"] += int(entry.get("ncalls", 0))
+            slot["tot_s"] += float(entry.get("tot_s", 0.0))
+            slot["cum_s"] += float(entry.get("cum_s", 0.0))
+    out = sorted(merged.values(), key=lambda e: (-e["cum_s"], e["func"]))
+    return out[:top_n]
+
+
+def profile_events(hot_paths: list[dict[str, Any]],
+                   frequency_hz: float = units.RDRAM_FREQUENCY_HZ,
+                   t0_cycles: float = 0.0) -> list[Event]:
+    """Hot paths as span events on the ``profile`` track.
+
+    The spans are laid end to end in hot-path order, each as wide as its
+    cumulative time (converted to memory cycles so the exporter's single
+    clock applies) — a folded flame summary, not a timeline. ``args``
+    carries the real numbers for the Perfetto detail pane.
+    """
+    events: list[Event] = []
+    cursor = t0_cycles
+    for entry in hot_paths:
+        cum_s = float(entry.get("cum_s", 0.0))
+        dur_cycles = max(cum_s, 0.0) * frequency_hz
+        events.append(Event(
+            ts=cursor, name=str(entry.get("func", "?")),
+            track=TRACK_PROFILE, ph=PH_SPAN, dur=dur_cycles,
+            args={"ncalls": entry.get("ncalls", 0),
+                  "tot_s": entry.get("tot_s", 0.0),
+                  "cum_s": cum_s}))
+        cursor += dur_cycles
+    return events
+
+
+__all__ = [
+    "PROFILE_ENV", "DEFAULT_TOP_N", "profiling_enabled", "fold_profile",
+    "run_profiled", "merge_profiles", "profile_events",
+]

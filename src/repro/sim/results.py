@@ -65,6 +65,12 @@ class SimulationResult:
     #: The run's metrics snapshot (counters, histograms, per-chip state
     #: residency, transition counts); see :mod:`repro.obs.metrics`.
     metrics: MetricsReport | None = None
+    #: Folded cProfile hot paths of the engine run (dicts with ``func``/
+    #: ``ncalls``/``tot_s``/``cum_s``), populated only when the run was
+    #: profiled (``REPRO_PROFILE=1`` or ``simulate(..., profile=True)``);
+    #: see :mod:`repro.obs.perf`. Results served from the on-disk cache
+    #: keep whatever the *original* computation recorded.
+    profile: list[dict] | None = None
 
     def hottest_chips(self, count: int = 3) -> list[tuple[int, float]]:
         """The ``count`` chips consuming the most energy, descending.

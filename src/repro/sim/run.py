@@ -47,6 +47,7 @@ def simulate(
     seed: int = 0,
     record_timeline: bool = False,
     tracer=None,
+    profile: bool | None = None,
 ) -> SimulationResult:
     """Run one simulation of ``trace`` under ``technique``.
 
@@ -70,6 +71,11 @@ def simulate(
             run's structured events (power-state spans, TA decisions,
             slack charges, migrations); ``None`` or a disabled tracer
             costs nothing.
+        profile: wrap the engine run in :mod:`cProfile` and attach the
+            folded hot paths to ``result.profile``. ``None`` defers to
+            the ``REPRO_PROFILE`` environment variable (see
+            :mod:`repro.obs.perf`), which is how the switch reaches
+            executor worker processes.
 
     Returns:
         The :class:`~repro.sim.results.SimulationResult`.
@@ -86,13 +92,23 @@ def simulate(
     if engine == "fluid":
         from repro.sim.fluid import FluidEngine
 
-        return FluidEngine(trace, config, technique=technique, seed=seed,
-                           record_timeline=record_timeline,
-                           tracer=tracer).run()
-    if record_timeline:
-        raise ConfigurationError(
-            "record_timeline is only supported by the fluid engine")
-    from repro.sim.precise import PreciseEngine
+        engine_run = FluidEngine(trace, config, technique=technique,
+                                 seed=seed,
+                                 record_timeline=record_timeline,
+                                 tracer=tracer).run
+    else:
+        if record_timeline:
+            raise ConfigurationError(
+                "record_timeline is only supported by the fluid engine")
+        from repro.sim.precise import PreciseEngine
 
-    return PreciseEngine(trace, config, technique=technique, seed=seed,
-                         tracer=tracer).run()
+        engine_run = PreciseEngine(trace, config, technique=technique,
+                                   seed=seed, tracer=tracer).run
+
+    from repro.obs.perf import profiling_enabled, run_profiled
+
+    if not profiling_enabled(profile):
+        return engine_run()
+    result, hot_paths = run_profiled(engine_run)
+    result.profile = hot_paths
+    return result

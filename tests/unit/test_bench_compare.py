@@ -1,0 +1,174 @@
+"""Units for the bench regression comparator."""
+
+import pytest
+
+from repro.bench.compare import (
+    DEFAULT_TOLERANCE,
+    FIGURE_TOLERANCES,
+    IMPROVED,
+    NO_BASELINE,
+    REGRESSED,
+    UNCHANGED,
+    Tolerance,
+    classify,
+    compare_records,
+    mad,
+    median,
+    render_comparison,
+)
+from repro.bench.record import BenchRecord, Metric, Phase
+
+
+def make_run(wall=1.0, value=0.35, expected=0.386, bench_ms=25.0,
+             name="fig5_savings", figure="fig5"):
+    return BenchRecord(
+        name=name, figure=figure, meta={"bench_ms": bench_ms},
+        metrics=[Metric(name="dma-ta-pl/cp=0.1", value=value,
+                        unit="fraction", expected=expected)],
+        phases=[Phase(name="sweep", wall_s=wall)],
+    )
+
+
+def history(*walls, **kwargs):
+    return {"fig5": [make_run(wall=w, **kwargs) for w in walls]}
+
+
+def wall_verdict(comparison):
+    return next(v for v in comparison.verdicts if v.kind == "performance")
+
+
+def fidelity_verdict(comparison):
+    return next(v for v in comparison.verdicts if v.kind == "fidelity")
+
+
+class TestRobustStats:
+    def test_median_odd_even(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([4.0, 1.0, 2.0, 3.0]) == 2.5
+
+    def test_median_of_nothing_raises(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_mad_outlier_immunity(self):
+        # One wild outlier barely moves the MAD, unlike a stddev.
+        assert mad([1.0, 1.1, 0.9, 1.0, 100.0]) == pytest.approx(0.1)
+
+    def test_mad_degenerates_to_zero(self):
+        assert mad([]) == 0.0
+        assert mad([5.0]) == 0.0          # single committed run
+        assert mad([2.0, 2.0, 2.0]) == 0.0  # zero-variance history
+
+
+class TestClassify:
+    def test_zero_variance_history_uses_configured_band(self):
+        # MAD = 0, so the band must fall back to rel/abs tolerances
+        # instead of flagging every microscopic delta.
+        status, centre, band = classify(
+            1.05, [1.0, 1.0, 1.0], rel_tol=0.10, abs_tol=0.0, mad_k=3.0)
+        assert status == UNCHANGED
+        assert centre == 1.0
+        assert band == pytest.approx(0.10)
+
+    def test_single_round_baseline_still_classifies(self):
+        status, _, _ = classify(10.0, [1.0], rel_tol=0.5, abs_tol=0.25,
+                                mad_k=3.0)
+        assert status == REGRESSED
+
+    def test_mad_widens_band_beyond_tolerance(self):
+        noisy = [1.0, 2.0, 3.0, 4.0, 5.0]  # median 3, MAD = 1
+        # 3.9 would regress under the 0.1-relative band alone (0.3);
+        # the observed scatter widens the band to 1 MAD.
+        status, _, band = classify(3.9, noisy, rel_tol=0.1, abs_tol=0.0,
+                                   mad_k=1.0)
+        assert band == pytest.approx(1.0)
+        assert status == UNCHANGED
+
+    def test_improved_below_band(self):
+        status, _, _ = classify(0.1, [1.0, 1.0], rel_tol=0.2, abs_tol=0.0,
+                                mad_k=3.0)
+        assert status == IMPROVED
+
+
+class TestCompareRecords:
+    def test_unchanged_within_noise(self):
+        comparison = compare_records([make_run(wall=1.1)],
+                                     history(1.0, 1.05, 0.95))
+        assert comparison.ok
+        assert wall_verdict(comparison).status == UNCHANGED
+        assert fidelity_verdict(comparison).status == UNCHANGED
+
+    def test_wall_regression_detected(self):
+        comparison = compare_records([make_run(wall=2.0)],
+                                     history(1.0, 1.0, 1.0))
+        verdict = wall_verdict(comparison)
+        assert verdict.status == REGRESSED
+        assert not comparison.ok
+        assert comparison.regressions == [verdict]
+
+    def test_wall_improvement_detected(self):
+        comparison = compare_records([make_run(wall=0.2)],
+                                     history(2.0, 2.0, 2.0))
+        assert wall_verdict(comparison).status == IMPROVED
+        assert comparison.ok
+
+    def test_fidelity_regression_detected(self):
+        # Baseline deviation ~ -9.3%; drifting to -19% breaks the
+        # 2-point fidelity band while wall time stays flat.
+        comparison = compare_records([make_run(value=0.3126)],
+                                     history(1.0, 1.0, 1.0))
+        assert wall_verdict(comparison).status == UNCHANGED
+        assert fidelity_verdict(comparison).status == REGRESSED
+
+    def test_fidelity_improvement_detected(self):
+        comparison = compare_records([make_run(value=0.386)],
+                                     history(1.0, 1.0, 1.0))
+        assert fidelity_verdict(comparison).status == IMPROVED
+
+    def test_no_baseline_for_unknown_record(self):
+        comparison = compare_records([make_run(name="brand_new")],
+                                     history(1.0))
+        assert all(v.status == NO_BASELINE for v in comparison.verdicts)
+        assert comparison.ok  # missing baseline never gates
+
+    def test_bench_ms_mismatch_is_not_compared(self):
+        # A 5 ms quick run must not be judged against the 25 ms
+        # baseline — different trace durations, different walls.
+        comparison = compare_records([make_run(wall=50.0, bench_ms=5.0)],
+                                     history(1.0, 1.0))
+        assert all(v.status == NO_BASELINE for v in comparison.verdicts)
+
+    def test_abs_floor_protects_micro_phases(self):
+        # 30 ms -> 90 ms is 3x, but under the absolute floor.
+        comparison = compare_records([make_run(wall=0.09)],
+                                     history(0.03, 0.03))
+        assert wall_verdict(comparison).status == UNCHANGED
+
+    def test_wall_rel_override(self):
+        runs = [make_run(wall=1.5)]
+        assert not compare_records(runs, history(1.0, 1.0)).regressions
+        strict = compare_records(runs, history(1.0, 1.0), wall_rel=0.10)
+        assert wall_verdict(strict).status == REGRESSED
+
+    def test_figure_tolerance_overrides_exist(self):
+        assert FIGURE_TOLERANCES["engines"].fidelity_abs > \
+            DEFAULT_TOLERANCE.fidelity_abs
+        assert FIGURE_TOLERANCES["table1"].fidelity_abs < \
+            DEFAULT_TOLERANCE.fidelity_abs
+
+    def test_custom_tolerances_mapping(self):
+        loose = {"fig5": Tolerance(wall_rel=10.0, wall_abs_s=0.0)}
+        comparison = compare_records([make_run(wall=5.0)],
+                                     history(1.0, 1.0),
+                                     tolerances=loose)
+        assert wall_verdict(comparison).status == UNCHANGED
+
+    def test_summary_and_render(self):
+        comparison = compare_records([make_run(wall=2.0)],
+                                     history(1.0, 1.0, 1.0))
+        assert "1 regressed" in comparison.summary()
+        text = render_comparison(comparison)
+        assert "wall_s" in text
+        assert "! [fig5]" in text
+        verbose = render_comparison(comparison, verbose=True)
+        assert "fidelity:dma-ta-pl/cp=0.1" in verbose

@@ -1,0 +1,157 @@
+"""Units for the bench record schema and trajectory files."""
+
+import json
+
+import pytest
+
+from repro.bench.record import SCHEMA_VERSION, BenchRecord, Metric, Phase
+from repro.bench.trajectory import (
+    MAX_RUNS_PER_RECORD,
+    append_records,
+    load_all_trajectories,
+    load_result_records,
+    load_trajectory,
+    trajectory_path,
+    write_json_atomic,
+)
+from repro.errors import BenchFormatError
+
+
+def make_record(name="fig5_savings", figure="fig5", wall=1.0,
+                value=0.35, expected=0.386, bench_ms=25.0):
+    return BenchRecord(
+        name=name, figure=figure, created="2026-08-06T00:00:00+00:00",
+        meta={"bench_ms": bench_ms, "jobs": 1},
+        metrics=[Metric(name="dma-ta-pl/cp=0.1", value=value,
+                        unit="fraction", expected=expected),
+                 Metric(name="untied", value=2.0)],
+        phases=[Phase(name="sweep", wall_s=wall)],
+        cache={"memo_hits": 3, "memo_misses": 1},
+    )
+
+
+class TestMetric:
+    def test_relative_deviation(self):
+        m = Metric(name="x", value=0.30, expected=0.40)
+        assert m.deviation == pytest.approx(-0.25)
+
+    def test_absolute_deviation_near_zero_expected(self):
+        m = Metric(name="x", value=0.02, expected=0.0)
+        assert m.deviation == pytest.approx(0.02)
+
+    def test_untied_metric_has_no_deviation(self):
+        assert Metric(name="x", value=1.0).deviation is None
+        assert "deviation" not in Metric(name="x", value=1.0).as_dict()
+
+
+class TestBenchRecord:
+    def test_roundtrip(self):
+        record = make_record()
+        clone = BenchRecord.from_dict(record.to_dict())
+        assert clone.name == record.name
+        assert clone.figure == record.figure
+        assert clone.bench_ms == 25.0
+        assert clone.wall_s == pytest.approx(1.0)
+        assert clone.deviations() == pytest.approx(record.deviations())
+        assert clone.cache == record.cache
+
+    def test_fidelity_digest(self):
+        fidelity = make_record().fidelity()
+        assert fidelity["tied_metrics"] == 1
+        assert fidelity["max_abs_deviation"] == pytest.approx(
+            abs(0.35 - 0.386) / 0.386)
+
+    def test_fidelity_digest_without_tied_metrics(self):
+        record = BenchRecord(name="n", figure="f",
+                             metrics=[Metric(name="x", value=1.0)])
+        assert record.fidelity() == {"tied_metrics": 0}
+
+    def test_serialised_form_is_json_safe(self):
+        json.dumps(make_record().to_dict())
+
+    def test_wrong_schema_rejected_with_guidance(self):
+        payload = make_record().to_dict()
+        payload["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(BenchFormatError, match="repro bench run"):
+            BenchRecord.from_dict(payload)
+
+    def test_missing_schema_rejected(self):
+        payload = make_record().to_dict()
+        del payload["schema"]
+        with pytest.raises(BenchFormatError, match="schema"):
+            BenchRecord.from_dict(payload)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(BenchFormatError, match="not a JSON object"):
+            BenchRecord.from_dict([1, 2, 3])
+
+    def test_non_numeric_metric_value_rejected(self):
+        payload = make_record().to_dict()
+        payload["metrics"][0]["value"] = "fast"
+        with pytest.raises(BenchFormatError, match="non-numeric"):
+            BenchRecord.from_dict(payload)
+
+    def test_negative_phase_wall_rejected(self):
+        payload = make_record().to_dict()
+        payload["phases"][0]["wall_s"] = -1.0
+        with pytest.raises(BenchFormatError, match="wall_s"):
+            BenchRecord.from_dict(payload)
+
+
+class TestTrajectory:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_trajectory(tmp_path / "BENCH_fig5.json") == []
+
+    def test_append_and_load_roundtrip(self, tmp_path):
+        append_records([make_record(wall=1.0)], root=tmp_path)
+        append_records([make_record(wall=2.0)], root=tmp_path)
+        runs = load_trajectory(trajectory_path("fig5", tmp_path))
+        assert [r.wall_s for r in runs] == [1.0, 2.0]
+        assert load_all_trajectories(tmp_path)["fig5"] == runs
+
+    def test_figure_name_sanitised(self, tmp_path):
+        path = trajectory_path("fig 5/odd", tmp_path)
+        assert path.name == "BENCH_fig_5_odd.json"
+
+    def test_history_capped_per_record_name(self, tmp_path):
+        records = [make_record(wall=float(i))
+                   for i in range(MAX_RUNS_PER_RECORD + 5)]
+        append_records(records, root=tmp_path)
+        runs = load_trajectory(trajectory_path("fig5", tmp_path))
+        assert len(runs) == MAX_RUNS_PER_RECORD
+        assert runs[0].wall_s == 5.0  # oldest five dropped
+
+    def test_corrupt_json_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_fig5.json"
+        path.write_text("{truncated", encoding="utf-8")
+        with pytest.raises(BenchFormatError, match="not valid JSON"):
+            load_trajectory(path)
+
+    def test_wrong_shape_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_fig5.json"
+        path.write_text(json.dumps({"schema": 1, "figure": "fig5"}),
+                        encoding="utf-8")
+        with pytest.raises(BenchFormatError, match="trajectory object"):
+            load_trajectory(path)
+
+    def test_old_schema_trajectory_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_fig5.json"
+        path.write_text(json.dumps({"schema": 0, "figure": "fig5",
+                                    "runs": []}), encoding="utf-8")
+        with pytest.raises(BenchFormatError, match="schema 0"):
+            load_trajectory(path)
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        write_json_atomic(tmp_path / "out.json", {"ok": True})
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_load_result_records(self, tmp_path):
+        write_json_atomic(tmp_path / "a.json", make_record().to_dict())
+        records = load_result_records(tmp_path)
+        assert len(records) == 1
+        assert records[0].name == "fig5_savings"
+
+    def test_load_result_records_rejects_corrupt_file(self, tmp_path):
+        (tmp_path / "bad.json").write_text("nope", encoding="utf-8")
+        with pytest.raises(BenchFormatError):
+            load_result_records(tmp_path)

@@ -212,3 +212,145 @@ class TestCalibrate:
         out = capsys.readouterr().out
         assert "mu" in out
         assert "requests per client" in out
+
+
+class TestStatsHistograms:
+    def test_digest_printed(self, trace_file, capsys):
+        assert main(["stats", str(trace_file), "--technique", "dma-ta",
+                     "--mu", "50", "--histogram", "ta.batch_size"]) == 0
+        out = capsys.readouterr().out
+        assert "histogram ta.batch_size:" in out
+        assert "p99" in out
+
+    def test_missing_histogram_warns_not_tracebacks(self, trace_file,
+                                                    capsys):
+        # ta.batch_size only exists when a DMA-TA technique runs; the
+        # baseline must warn and exit 0, never traceback.
+        assert main(["stats", str(trace_file), "--technique", "baseline",
+                     "--histogram", "ta.batch_size"]) == 0
+        captured = capsys.readouterr()
+        assert "ta.batch_size" in captured.err
+        assert "have:" in captured.err
+        assert "counters:" in captured.out  # rest of the report intact
+
+
+class TestBenchVerbs:
+    @pytest.fixture
+    def results(self, tmp_path):
+        """A results dir with one record, plus an empty baseline root."""
+        from repro.bench.record import BenchRecord, Metric, Phase
+        from repro.bench.trajectory import write_json_atomic
+
+        results_dir = tmp_path / "results"
+
+        def write(wall=1.0, value=0.35):
+            record = BenchRecord(
+                name="fig5_savings", figure="fig5",
+                created="2026-08-06T00:00:00+00:00",
+                meta={"bench_ms": 25.0, "jobs": 1},
+                metrics=[Metric(name="dma-ta-pl/cp=0.1", value=value,
+                                unit="fraction", expected=0.386)],
+                phases=[Phase(name="sweep", wall_s=wall)],
+            )
+            write_json_atomic(results_dir / "fig5_savings.json",
+                              record.to_dict())
+
+        write()
+        return tmp_path, results_dir, write
+
+    def _args(self, results):
+        tmp_path, results_dir, _ = results
+        return ["--results-dir", str(results_dir), "--root", str(tmp_path)]
+
+    def test_compare_without_baseline_warns_but_passes(self, results,
+                                                       capsys):
+        assert main(["bench", "compare", *self._args(results),
+                     "--fail-on-regression"]) == 0
+        captured = capsys.readouterr()
+        assert "no BENCH_*.json trajectories" in captured.err
+        assert "without baseline" in captured.out
+
+    def test_update_baseline_then_unchanged_compare(self, results, capsys):
+        tmp_path, _, _ = results
+        assert main(["bench", "update-baseline", *self._args(results)]) == 0
+        assert (tmp_path / "BENCH_fig5.json").exists()
+        assert main(["bench", "compare", *self._args(results),
+                     "--fail-on-regression"]) == 0
+        out = capsys.readouterr().out
+        assert "0 regressed" in out
+
+    def test_wall_regression_fails_the_gate(self, results, capsys):
+        _, _, write = results
+        assert main(["bench", "update-baseline", *self._args(results)]) == 0
+        write(wall=3.0)  # inject a synthetic 3x wall-time regression
+        assert main(["bench", "compare", *self._args(results)]) == 0
+        assert main(["bench", "compare", *self._args(results),
+                     "--fail-on-regression"]) == 1
+        captured = capsys.readouterr()
+        assert "wall_s" in captured.out
+        assert "regression(s)" in captured.err
+
+    def test_fidelity_regression_fails_the_gate(self, results, capsys):
+        _, _, write = results
+        assert main(["bench", "update-baseline", *self._args(results)]) == 0
+        write(value=0.25)  # drift away from the paper's 0.386
+        assert main(["bench", "compare", *self._args(results),
+                     "--fail-on-regression"]) == 1
+        assert "fidelity:dma-ta-pl/cp=0.1" in capsys.readouterr().out
+
+    def test_verbose_itemises_everything(self, results, capsys):
+        assert main(["bench", "update-baseline", *self._args(results)]) == 0
+        assert main(["bench", "compare", *self._args(results), "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "= [fig5]" in out
+
+    def test_update_baseline_figure_filter(self, results, capsys):
+        with pytest.raises(SystemExit):
+            # argparse: --figure needs a value
+            main(["bench", "update-baseline", "--figure"])
+        assert main(["bench", "update-baseline", *self._args(results),
+                     "--figure", "nope"]) == 2
+        assert "no current records match" in capsys.readouterr().err
+
+    def test_missing_results_dir_is_an_error(self, tmp_path, capsys):
+        assert main(["bench", "compare", "--results-dir",
+                     str(tmp_path / "void"), "--root", str(tmp_path)]) == 2
+        assert "repro bench run" in capsys.readouterr().err
+
+    def test_corrupt_record_rejected_clearly(self, results, capsys):
+        tmp_path, results_dir, _ = results
+        (results_dir / "fig5_savings.json").write_text(
+            '{"schema": 99}', encoding="utf-8")
+        assert main(["bench", "compare", *self._args(results)]) == 2
+        assert "schema" in capsys.readouterr().err
+
+    def test_report_writes_selfcontained_html(self, results, capsys):
+        tmp_path, _, _ = results
+        assert main(["bench", "update-baseline", *self._args(results)]) == 0
+        out_path = tmp_path / "report.html"
+        assert main(["bench", "report", *self._args(results),
+                     "-o", str(out_path)]) == 0
+        html = out_path.read_text(encoding="utf-8")
+        assert "<svg" in html          # sparklines inline
+        assert "fig5_savings" in html
+        assert "<script src" not in html  # no external assets
+
+    def test_report_without_anything_is_an_error(self, tmp_path, capsys):
+        assert main(["bench", "report", "--results-dir",
+                     str(tmp_path / "void"), "--root", str(tmp_path),
+                     "-o", str(tmp_path / "r.html")]) == 2
+        assert "nothing to report" in capsys.readouterr().err
+
+    def test_run_rejects_missing_benchmarks_dir(self, tmp_path, capsys):
+        assert main(["bench", "run", "--benchmarks-dir",
+                     str(tmp_path / "void")]) == 2
+        assert "benchmarks directory" in capsys.readouterr().err
+
+    def test_run_rejects_unknown_figure(self, capsys, monkeypatch,
+                                        tmp_path):
+        bench_dir = tmp_path / "benchmarks"
+        bench_dir.mkdir()
+        (bench_dir / "bench_fig5_x.py").write_text("", encoding="utf-8")
+        assert main(["bench", "run", "--benchmarks-dir", str(bench_dir),
+                     "--figure", "fig99"]) == 2
+        assert "fig99" in capsys.readouterr().err

@@ -1,0 +1,129 @@
+"""Units for the opt-in profiling hooks."""
+
+import pytest
+
+from repro import simulate
+from repro.obs.events import PH_SPAN, TRACK_PROFILE
+from repro.obs.export import chrome_trace, validate_chrome_trace
+from repro.obs.perf import (
+    PROFILE_ENV,
+    fold_profile,
+    merge_profiles,
+    profile_events,
+    profiling_enabled,
+    run_profiled,
+)
+from repro.traces.synthetic import synthetic_storage_trace
+
+
+@pytest.fixture
+def trace():
+    return synthetic_storage_trace(duration_ms=2.0, seed=7)
+
+
+class TestProfilingEnabled:
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv(PROFILE_ENV, raising=False)
+        assert profiling_enabled() is False
+
+    def test_env_turns_it_on(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV, "1")
+        assert profiling_enabled() is True
+        monkeypatch.setenv(PROFILE_ENV, "false")
+        assert profiling_enabled() is False
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV, "1")
+        assert profiling_enabled(False) is False
+        monkeypatch.delenv(PROFILE_ENV)
+        assert profiling_enabled(True) is True
+
+
+class TestRunProfiled:
+    def test_returns_result_and_hot_paths(self):
+        def work():
+            return sum(range(1000))
+
+        result, hot = run_profiled(work)
+        assert result == sum(range(1000))
+        assert hot, "profiler should record at least one function"
+        for entry in hot:
+            assert set(entry) == {"func", "ncalls", "tot_s", "cum_s"}
+        # Sorted by cumulative time, descending.
+        cums = [e["cum_s"] for e in hot]
+        assert cums == sorted(cums, reverse=True)
+
+    def test_top_n_cap(self):
+        _, hot = run_profiled(lambda: [str(i) for i in range(50)],
+                              top_n=3)
+        assert len(hot) <= 3
+
+
+class TestSimulateProfile:
+    def test_result_profile_off_by_default(self, trace, monkeypatch):
+        monkeypatch.delenv(PROFILE_ENV, raising=False)
+        assert simulate(trace, technique="baseline").profile is None
+
+    def test_flag_attaches_hot_paths(self, trace):
+        result = simulate(trace, technique="baseline", profile=True)
+        assert result.profile
+        funcs = " ".join(e["func"] for e in result.profile)
+        assert "repro" in funcs
+
+    def test_env_attaches_hot_paths(self, trace, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV, "1")
+        assert simulate(trace, technique="baseline").profile
+
+    def test_profiled_result_matches_unprofiled(self, trace):
+        plain = simulate(trace, technique="baseline")
+        profiled = simulate(trace, technique="baseline", profile=True)
+        assert profiled.energy_joules == pytest.approx(plain.energy_joules)
+
+
+class TestMergeProfiles:
+    def test_sums_by_function(self):
+        a = [{"func": "f", "ncalls": 1, "tot_s": 0.1, "cum_s": 0.2}]
+        b = [{"func": "f", "ncalls": 2, "tot_s": 0.3, "cum_s": 0.4},
+             {"func": "g", "ncalls": 1, "tot_s": 0.0, "cum_s": 0.1}]
+        merged = merge_profiles([a, b])
+        assert merged[0] == {"func": "f", "ncalls": 3,
+                             "tot_s": pytest.approx(0.4),
+                             "cum_s": pytest.approx(0.6)}
+        assert merged[1]["func"] == "g"
+
+    def test_empty(self):
+        assert merge_profiles([]) == []
+
+
+class TestProfileEvents:
+    def test_spans_laid_end_to_end(self):
+        hot = [{"func": "f", "ncalls": 1, "tot_s": 0.5, "cum_s": 1.0},
+               {"func": "g", "ncalls": 2, "tot_s": 0.2, "cum_s": 0.5}]
+        events = profile_events(hot, frequency_hz=100.0)
+        assert [e.name for e in events] == ["f", "g"]
+        assert all(e.track == TRACK_PROFILE and e.ph == PH_SPAN
+                   for e in events)
+        assert events[0].ts == 0.0 and events[0].dur == 100.0
+        assert events[1].ts == 100.0 and events[1].dur == 50.0
+        assert events[0].args["ncalls"] == 1
+
+    def test_events_export_to_valid_chrome_trace(self):
+        hot = [{"func": "f", "ncalls": 1, "tot_s": 0.5, "cum_s": 1.0}]
+        payload = chrome_trace(profile_events(hot))
+        assert validate_chrome_trace(payload) == []
+        names = [e.get("name") for e in payload["traceEvents"]]
+        assert "f" in names
+        # The profile track lands in its own named process.
+        assert any(e.get("args", {}).get("name") == "profiler"
+                   for e in payload["traceEvents"])
+
+
+class TestFoldProfile:
+    def test_builtin_names_survive(self):
+        import cProfile
+        profiler = cProfile.Profile()
+        profiler.enable()
+        sorted([3, 1, 2])
+        profiler.disable()
+        hot = fold_profile(profiler, top_n=50)
+        assert any("sorted" in e["func"] for e in hot)
