@@ -43,6 +43,7 @@ from repro.bench import BenchRecord, Metric, Phase
 from repro.bench.trajectory import write_json_atomic
 from repro.config import SimulationConfig
 from repro.exec import ResultCache, SimJob, run_many
+from repro.obs.audit import audit_result, audit_summary
 from repro.obs.perf import merge_profiles
 from repro.sim.results import SimulationResult
 from repro.traces.oltp import oltp_database_trace, oltp_storage_trace
@@ -86,6 +87,8 @@ class _SessionStats:
         self.memo_misses = 0
         self.disk_base: dict[str, int] = self._disk_counts()
         self.profiles: list[list[dict]] = []
+        self.audited = 0
+        self.audit_findings: list[str] = []
 
     @staticmethod
     def _disk_counts() -> dict[str, int]:
@@ -96,9 +99,18 @@ class _SessionStats:
             self.sim_wall_s += outcome.wall_s
             if outcome.ok and outcome.result.profile:
                 self.profiles.append(outcome.result.profile)
+            if outcome.ok:
+                self.audited += 1
+                for finding in audit_summary(audit_result(outcome.result)):
+                    line = f"{outcome.job.tag or outcome.job.technique}: " \
+                           f"{finding}"
+                    if line not in self.audit_findings:
+                        self.audit_findings.append(line)
 
-    def drain(self) -> tuple[float, dict[str, int], list[dict] | None]:
-        """(simulate wall, cache counters, merged profile) since last."""
+    def drain(self) -> tuple[float, dict[str, int], list[dict] | None,
+                             dict]:
+        """(simulate wall, cache counters, merged profile, audit block)
+        accumulated since the previous drain."""
         wall = self.sim_wall_s
         counts = {"memo_hits": self.memo_hits,
                   "memo_misses": self.memo_misses}
@@ -106,11 +118,15 @@ class _SessionStats:
         for key, value in disk_now.items():
             counts[f"disk_{key}"] = value - self.disk_base.get(key, 0)
         profile = merge_profiles(self.profiles) if self.profiles else None
+        audit = {"checked": self.audited,
+                 "findings": list(self.audit_findings)}
         self.sim_wall_s = 0.0
         self.memo_hits = self.memo_misses = 0
         self.disk_base = disk_now
         self.profiles = []
-        return wall, counts, profile
+        self.audited = 0
+        self.audit_findings = []
+        return wall, counts, profile, audit
 
 
 _SESSION = _SessionStats()
@@ -257,7 +273,12 @@ def save_record(name: str, figure: str, metrics: list[Metric],
     (when ``REPRO_PROFILE=1``) the merged hot paths of the profiled
     runs.
     """
-    sim_wall, cache_counts, profile = _SESSION.drain()
+    sim_wall, cache_counts, profile, audit = _SESSION.drain()
+    if audit["findings"]:
+        print(f"\naudit: {len(audit['findings'])} finding(s) in "
+              f"{name}:")
+        for line in audit["findings"]:
+            print(f"  {line}")
     all_phases = [Phase(name=pname, wall_s=wall)
                   for pname, wall in (phases or [])]
     if sim_wall > 0:
@@ -277,6 +298,7 @@ def save_record(name: str, figure: str, metrics: list[Metric],
         phases=all_phases,
         cache=cache_counts,
         profile=profile,
+        audit=audit,
     )
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.json"

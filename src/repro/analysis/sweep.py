@@ -17,6 +17,7 @@ from repro.config import SimulationConfig
 from repro.exec.cache import ResultCache
 from repro.exec.jobs import SimJob
 from repro.exec.runner import run_many
+from repro.obs.audit import audit_result, audit_summary
 from repro.sim.results import SimulationResult
 from repro.sim.run import simulate, validate_simulation_args
 from repro.traces.trace import Trace
@@ -37,6 +38,9 @@ class SweepPoint:
             no result.
         wall_s: wall-clock seconds the worker spent computing this
             point's run (0.0 for cache hits and deduplicated points).
+        audit: one-line audit findings from
+            :func:`repro.obs.audit.audit_result` on this point's result
+            (empty when the result passed or the point failed).
     """
 
     x: float
@@ -46,6 +50,7 @@ class SweepPoint:
     baseline: SimulationResult | None
     error: str | None = None
     wall_s: float = 0.0
+    audit: tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -134,8 +139,11 @@ def sweep_cp_limit(trace: Trace, cp_limits: list[float],
                     and baseline is not None and baseline.energy_joules > 0:
                 savings = 1.0 - (outcome.result.energy_joules
                                  / baseline.energy_joules)
+            audit: tuple[str, ...] = ()
+            if error is None and outcome.result is not None:
+                audit = audit_summary(audit_result(outcome.result))
             points.append(SweepPoint(
                 x=cp, technique=technique, savings=savings,
                 result=outcome.result, baseline=baseline, error=error,
-                wall_s=outcome.wall_s))
+                wall_s=outcome.wall_s, audit=audit))
     return points

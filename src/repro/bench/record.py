@@ -23,7 +23,9 @@ from typing import Any, Iterable, Mapping
 from repro.errors import BenchFormatError
 
 #: Bump whenever the record layout changes incompatibly.
-SCHEMA_VERSION = 1
+#: v2: records carry an ``audit`` block (result-invariant findings from
+#: :func:`repro.obs.audit.audit_result` over the session's runs).
+SCHEMA_VERSION = 2
 
 #: Guard against division blow-ups for paper-expected values near zero.
 _EXPECTED_EPS = 1e-12
@@ -100,6 +102,10 @@ class BenchRecord:
         cache: result-cache counters for the run (hits/misses/...).
         profile: folded cProfile hot paths (see :mod:`repro.obs.perf`),
             or ``None`` when profiling was off.
+        audit: result-invariant audit summary —
+            ``{"checked": <runs audited>, "findings": [<one-liners>]}``
+            from :func:`repro.obs.audit.audit_result` over the session's
+            simulation results (empty findings = all invariants held).
     """
 
     name: str
@@ -110,6 +116,7 @@ class BenchRecord:
     phases: list[Phase] = field(default_factory=list)
     cache: dict[str, int] = field(default_factory=dict)
     profile: list[dict[str, Any]] | None = None
+    audit: dict[str, Any] = field(default_factory=dict)
 
     # --- derived ---------------------------------------------------------
 
@@ -154,6 +161,7 @@ class BenchRecord:
             "wall_s": self.wall_s,
             "fidelity": self.fidelity(),
             "cache": dict(self.cache),
+            "audit": dict(self.audit),
         }
         if self.profile is not None:
             out["profile"] = list(self.profile)
@@ -193,6 +201,9 @@ class BenchRecord:
         profile = obj.get("profile")
         if profile is not None and not isinstance(profile, list):
             raise BenchFormatError(f"{where}: profile is not an array")
+        audit = obj.get("audit", {})
+        if not isinstance(audit, Mapping):
+            raise BenchFormatError(f"{where}: audit is not an object")
         return cls(
             name=name, figure=figure,
             created=str(obj.get("created", "")),
@@ -200,6 +211,7 @@ class BenchRecord:
             cache={str(k): int(v) for k, v in cache.items()
                    if isinstance(v, (int, float))},
             profile=list(profile) if profile is not None else None,
+            audit=dict(audit),
         )
 
 

@@ -41,15 +41,20 @@ def sparkline(values: Sequence[float], width: int = 140,
     if not values:
         return ""
     lo, hi = min(values), max(values)
-    span = (hi - lo) or 1.0
     pad = 3
     if len(values) == 1:
         xs = [width / 2.0]
     else:
         step = (width - 2 * pad) / (len(values) - 1)
         xs = [pad + i * step for i in range(len(values))]
-    ys = [height - pad - (v - lo) / span * (height - 2 * pad)
-          for v in values]
+    if hi == lo:
+        # Zero-variance series (single run, or every run identical):
+        # a flat midline marker, not points pinned to the bottom edge.
+        ys = [height / 2.0] * len(values)
+    else:
+        span = hi - lo
+        ys = [height - pad - (v - lo) / span * (height - 2 * pad)
+              for v in values]
     points = " ".join(f"{x:.1f},{y:.1f}" for x, y in zip(xs, ys))
     last = (f'<circle cx="{xs[-1]:.1f}" cy="{ys[-1]:.1f}" r="2.5" '
             f'fill="{stroke}"/>')

@@ -14,6 +14,7 @@ Examples::
     repro sweep st.jsonl --technique dma-ta-pl --cp-limits 0.02,0.1,0.3
     repro calibrate st.jsonl --cp-limit 0.1
     repro trace st.jsonl --technique dma-ta-pl --out trace.json
+    repro audit st.jsonl --technique dma-ta --mu 2.0 --strict
     repro stats st.jsonl --technique dma-ta-pl
     repro bench run --quick
     repro bench compare --fail-on-regression
@@ -136,6 +137,34 @@ def build_parser() -> argparse.ArgumentParser:
     trace_cmd.add_argument("--profile", action="store_true",
                            help="profile the engine run and attach a "
                                 "'profile' track to the export")
+
+    audit = commands.add_parser(
+        "audit", help="run one audited simulation: latency waterfalls, "
+                      "energy-conservation ledger, slack-guarantee replay")
+    audit.add_argument("trace")
+    audit.add_argument("--technique", choices=TECHNIQUES, default="dma-ta")
+    audit.add_argument("--engine", choices=ENGINES, default="fluid")
+    audit.add_argument("--cp-limit", type=float, default=None)
+    audit.add_argument("--mu", type=float, default=None)
+    audit.add_argument("--seed", type=int, default=0)
+    audit.add_argument("--strict", action="store_true",
+                       help="fail fast: raise at the first violation and "
+                            "exit non-zero (default: warn and exit 0)")
+    audit.add_argument("--slowest", type=int, default=8,
+                       help="worst-case transfer waterfalls to retain")
+    audit.add_argument("--inject-undercharge", type=float, default=0.0,
+                       metavar="FRACTION",
+                       help="fault injection: scale the slack account's "
+                            "pessimistic epoch charge by (1 - FRACTION); "
+                            "the auditor must catch the under-charge "
+                            "(requires a DMA-TA technique)")
+    audit.add_argument("--out", default=None,
+                       help="write the violation/waterfall report (JSON) "
+                            "to this file")
+    audit.add_argument("--trace-out", default=None,
+                       help="also export a Chrome-trace/Perfetto JSON of "
+                            "the run's events plus the slowest-transfer "
+                            "waterfall spans on the audit track")
 
     stats = commands.add_parser(
         "stats", help="run one simulation and print its metrics report")
@@ -289,6 +318,17 @@ def _cmd_sweep(args) -> int:
         print(f"cache: {stats.hits} hits, {stats.misses} misses, "
               f"{stats.stores} stores, {stats.evictions} evictions, "
               f"{stats.corrupt} corrupt ({cache.root})")
+    flagged = [(p, finding) for p in points for finding in p.audit]
+    if flagged:
+        print(f"audit: {len(flagged)} finding(s) across "
+              f"{len({id(p) for p, _ in flagged})} point(s):",
+              file=sys.stderr)
+        for point, finding in flagged:
+            print(f"  x={point.x:g} {point.technique}: {finding}",
+                  file=sys.stderr)
+    else:
+        print(f"audit: {sum(1 for p in points if p.ok)} point(s) passed "
+              "result invariants")
     failures = sweep_errors(points)
     if failures:
         print(failures, file=sys.stderr)
@@ -307,6 +347,11 @@ def _cmd_trace(args) -> int:
     events = list(tracer.events)
     if result.profile:
         events.extend(profile_events(result.profile))
+    if not events:
+        print(result.summary())
+        print("warning: run produced no trace events; skipping export",
+              file=sys.stderr)
+        return 0
     path = write_chrome_trace(events, args.out, label=trace.name)
     print(result.summary())
     extra = (f", {len(result.profile)} profile spans"
@@ -314,6 +359,74 @@ def _cmd_trace(args) -> int:
     print(f"\nwrote {path}: {len(tracer.events)} events "
           f"({tracer.dropped} dropped{extra}) — load it at "
           "https://ui.perfetto.dev")
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    from repro.errors import AuditError
+    from repro.obs import RingTracer, write_chrome_trace
+    from repro.obs.audit import Auditor, write_audit_report
+    from repro.sim.run import validate_simulation_args
+
+    validate_simulation_args(args.technique, args.engine,
+                             mu=args.mu, cp_limit=args.cp_limit)
+    trace = read_trace(args.trace)
+    config = SimulationConfig()
+    if args.cp_limit is not None:
+        config = config.with_mu(calibrate_mu(trace, config,
+                                             args.cp_limit).mu)
+    elif args.mu is not None:
+        config = config.with_mu(args.mu)
+
+    # Construct the engine directly (rather than through simulate()) so
+    # the under-charge fault can be injected into its slack account.
+    ring = RingTracer() if args.trace_out else None
+    auditor = Auditor(strict=args.strict, slowest=max(0, args.slowest),
+                      downstream=ring)
+    if args.engine == "fluid":
+        from repro.sim.fluid import FluidEngine
+
+        engine = FluidEngine(trace, config, technique=args.technique,
+                             seed=args.seed, tracer=auditor)
+    else:
+        from repro.sim.precise import PreciseEngine
+
+        engine = PreciseEngine(trace, config, technique=args.technique,
+                               seed=args.seed, tracer=auditor)
+    if args.inject_undercharge:
+        slack = getattr(engine.controller, "slack", None)
+        if slack is None:
+            raise ReproError(
+                "--inject-undercharge needs a slack account; use a "
+                "DMA-TA technique (dma-ta or dma-ta-pl)")
+        slack.undercharge_fraction = args.inject_undercharge
+
+    try:
+        result = engine.run()
+        report = auditor.finalize(result)
+    except AuditError as exc:
+        print(f"audit: FAIL (strict) — {exc}", file=sys.stderr)
+        report = auditor.finalize(None)
+        if args.out:
+            path = write_audit_report(report, args.out)
+            print(f"wrote {path}", file=sys.stderr)
+        return 1
+    print(result.summary())
+    print()
+    print(report.render())
+    if args.out:
+        path = write_audit_report(report, args.out)
+        print(f"\nwrote {path}")
+    if ring is not None:
+        events = list(ring.events) + report.waterfall_events()
+        path = write_chrome_trace(events, args.trace_out, label=trace.name)
+        print(f"wrote {path}: {len(events)} events (slack counter on the "
+              "controller track, waterfalls on the audit tracks) — load "
+              "it at https://ui.perfetto.dev")
+    if not report.ok:
+        print(f"audit: {len(report.violations)} violation kind(s) "
+              f"detected", file=sys.stderr)
+        return 1 if args.strict else 0
     return 0
 
 
@@ -392,6 +505,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "sweep": _cmd_sweep,
     "trace": _cmd_trace,
+    "audit": _cmd_audit,
     "stats": _cmd_stats,
     "calibrate": _cmd_calibrate,
     "report": _cmd_report,

@@ -102,6 +102,8 @@ class MigrationPlanner:
         self._tracer.instant(now, "pl.migration", TRACK_CONTROLLER, {
             "moves": migration.num_moves,
             "flushes": migration.table_flushes,
+            "chips": len({m.to_chip for m in migration.moves}
+                         | {m.from_chip for m in migration.moves}),
             "truncated": migration.num_moves > _MOVE_EVENT_CAP,
         })
         for move in migration.moves[:_MOVE_EVENT_CAP]:

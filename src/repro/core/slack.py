@@ -42,6 +42,11 @@ class SlackAccount:
         num_buses: ``r``.
         saturating_buses: ``k = ceil(Rm/Rb)``.
         release_fraction: release once ``n*U/2 >= fraction * slack``.
+        undercharge_fraction: fault-injection knob for the audit layer —
+            the pessimistic epoch charge is scaled by ``1 - fraction``,
+            deliberately under-charging the account so tests and
+            ``repro audit --inject-undercharge`` can prove the auditor
+            catches it. 0 (the default) is the correct scheme.
         tracer: optional event tracer; charges, release decisions, and
             budget violations are emitted on the controller track.
     """
@@ -51,6 +56,7 @@ class SlackAccount:
     num_buses: int
     saturating_buses: int
     release_fraction: float = 1.0
+    undercharge_fraction: float = 0.0
     tracer: "Tracer | None" = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
@@ -62,6 +68,9 @@ class SlackAccount:
             raise ConfigurationError("bus counts must be positive")
         if not 0 < self.release_fraction <= 1:
             raise ConfigurationError("release_fraction must be in (0, 1]")
+        if not 0 <= self.undercharge_fraction < 1:
+            raise ConfigurationError(
+                "undercharge_fraction must be in [0, 1)")
         self._charges = 0.0
         self._extra_credits = 0.0
         self._violations = 0
@@ -92,11 +101,17 @@ class SlackAccount:
     def charge_epoch(self, epoch_cycles: float, pending_requests: int,
                      now: float = 0.0) -> None:
         """Pessimistic epoch-start charge: all pending wait the epoch out."""
-        self._charges += epoch_cycles * pending_requests
+        charged = (epoch_cycles * pending_requests
+                   * (1.0 - self.undercharge_fraction))
+        self._charges += charged
         if self.tracer is not None and pending_requests:
+            # The event reports the cycles ACTUALLY charged (post any
+            # injected fault) plus the epoch length, so the auditor can
+            # independently recompute epoch * pending and flag the gap.
             self.tracer.instant(now, "slack.charge_epoch", TRACK_CONTROLLER,
-                                {"cycles": epoch_cycles * pending_requests,
-                                 "pending": pending_requests})
+                                {"cycles": charged,
+                                 "pending": pending_requests,
+                                 "epoch": epoch_cycles})
 
     def charge_wake(self, wake_latency: float, pending_requests: int,
                     now: float = 0.0) -> None:
@@ -117,10 +132,13 @@ class SlackAccount:
                                 {"cycles": work_cycles * pending_requests,
                                  "pending": pending_requests})
 
-    def refund(self, cycles: float) -> None:
+    def refund(self, cycles: float, now: float = 0.0) -> None:
         """Return over-charged pessimistic cycles (e.g. when a request is
         released mid-epoch after being charged for the full epoch)."""
         self._extra_credits += cycles
+        if self.tracer is not None and cycles:
+            self.tracer.instant(now, "slack.refund", TRACK_CONTROLLER,
+                                {"cycles": cycles})
 
     @property
     def total_charges(self) -> float:

@@ -118,9 +118,10 @@ class TemporalAlignmentController(MemoryController):
         self.max_gathered = max(self.max_gathered, len(streams))
         return streams
 
-    def _record_release(self, chip_id: int, batch_size: int, reason: str,
-                        now: float) -> None:
+    def _record_release(self, chip_id: int, streams: list[FluidStream],
+                        reason: str, now: float) -> None:
         """Observe one released lockstep batch (size + trigger)."""
+        batch_size = len(streams)
         if batch_size <= 0:
             return
         if self._batch_hist is not None:
@@ -129,6 +130,14 @@ class TemporalAlignmentController(MemoryController):
             self._tracer.instant(now, "ta.release", TRACK_CONTROLLER,
                                  {"chip": chip_id, "batch": batch_size,
                                   "reason": reason})
+            # Per-transfer release marks feed the audit waterfall: how
+            # long each head gathered, and which trigger let it go.
+            for stream in streams:
+                self._tracer.instant(
+                    now, "dma.release", TRACK_CONTROLLER,
+                    {"id": getattr(stream, "seq", 0), "chip": chip_id,
+                     "reason": reason,
+                     "waited": now - getattr(stream, "arrival_time", now)})
 
     def _allowance(self, stream, now: float) -> float:
         """How long a buffered transfer may currently wait.
@@ -167,8 +176,7 @@ class TemporalAlignmentController(MemoryController):
             released = self._pop_pending(chip_id)
             released.append(stream)
             if len(released) > 1:
-                self._record_release(chip_id, len(released), "chip-active",
-                                     now)
+                self._record_release(chip_id, released, "chip-active", now)
             return released
 
         if self.slack.credit_per_request() <= 0.0:
@@ -191,18 +199,21 @@ class TemporalAlignmentController(MemoryController):
             self._tracer.instant(now, "ta.buffer", TRACK_CONTROLLER,
                                  {"chip": chip_id,
                                   "bus": getattr(stream, "bus_id", None),
+                                  "id": getattr(stream, "seq", 0),
+                                  "requests": getattr(stream, "num_requests",
+                                                      0) or 1,
                                   "pending": self._pending_total})
 
         by_bus = self._pending_by_bus(chip_id)
         if len(by_bus) >= self.slack.saturating_buses:
             self.releases_by_gather += 1
             batch = self._pop_pending(chip_id)
-            self._record_release(chip_id, len(batch), "gather", now)
+            self._record_release(chip_id, batch, "gather", now)
             return batch
         if self.slack.should_release(by_bus, self._arrived(), now):
             self.releases_by_slack += 1
             batch = self._pop_pending(chip_id)
-            self._record_release(chip_id, len(batch), "slack", now)
+            self._record_release(chip_id, batch, "slack", now)
             return batch
         return []
 
@@ -217,14 +228,14 @@ class TemporalAlignmentController(MemoryController):
             if self._deadline_due(chip_id, now):
                 self.releases_by_deadline += 1
                 releases[chip_id] = self._pop_pending(chip_id)
-                self._record_release(chip_id, len(releases[chip_id]),
+                self._record_release(chip_id, releases[chip_id],
                                      "deadline", now)
                 continue
             by_bus = self._pending_by_bus(chip_id)
             if self.slack.should_release(by_bus, self._arrived(), now):
                 self.releases_by_slack += 1
                 releases[chip_id] = self._pop_pending(chip_id)
-                self._record_release(chip_id, len(releases[chip_id]),
+                self._record_release(chip_id, releases[chip_id],
                                      "slack", now)
         return releases
 
@@ -244,7 +255,7 @@ class TemporalAlignmentController(MemoryController):
     def on_chip_active(self, chip: FluidChip,
                        now: float) -> list[FluidStream]:
         batch = self._pop_pending(chip.chip_id)
-        self._record_release(chip.chip_id, len(batch), "chip-active", now)
+        self._record_release(chip.chip_id, batch, "chip-active", now)
         return batch
 
     def drain(self, now: float) -> dict[int, list[FluidStream]]:
@@ -252,8 +263,7 @@ class TemporalAlignmentController(MemoryController):
         for chip_id in list(self._pending):
             self.releases_by_drain += 1
             releases[chip_id] = self._pop_pending(chip_id)
-            self._record_release(chip_id, len(releases[chip_id]), "drain",
-                                 now)
+            self._record_release(chip_id, releases[chip_id], "drain", now)
         return releases
 
     def pending_count(self) -> int:

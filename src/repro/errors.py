@@ -35,6 +35,19 @@ class GuaranteeViolationError(SimulationError):
     """
 
 
+class AuditError(SimulationError):
+    """An audited invariant failed while the auditor ran in strict mode.
+
+    Carries the triggering :class:`~repro.obs.audit.AuditViolation` as
+    ``violation``; raised at the instrumentation site that emitted the
+    offending event, aborting the run mid-simulation (fail fast).
+    """
+
+    def __init__(self, violation) -> None:
+        super().__init__(f"{violation.kind}: {violation.message}")
+        self.violation = violation
+
+
 class LayoutError(ReproError):
     """A page layout operation is invalid (unknown page, full chip, ...)."""
 

@@ -25,10 +25,15 @@ attacks.
 from __future__ import annotations
 
 from collections import deque
+from typing import TYPE_CHECKING
 
 from repro.energy.states import PowerModel
 from repro.errors import ConfigurationError, SimulationError
 from repro.io.dma import FluidStream, StreamKind
+from repro.obs.events import bus_track
+
+if TYPE_CHECKING:
+    from repro.obs.tracer import Tracer
 
 SHARING_MODES = ("fifo", "fair")
 
@@ -57,6 +62,10 @@ class FluidBus:
 
         self.transfers_carried = 0
         self.max_queue_depth = 0
+        #: Set by the engine when tracing: queue-depth counter samples
+        #: are emitted on the bus track (``None`` = no tracing).
+        self.tracer: "Tracer | None" = None
+        self._track = bus_track(bus_id)
 
     @property
     def full_share_demand(self) -> float:
@@ -73,21 +82,30 @@ class FluidBus:
     # FIFO discipline
     # ------------------------------------------------------------------
 
-    def enqueue(self, stream: FluidStream) -> bool:
+    def enqueue(self, stream: FluidStream, now: float = 0.0) -> bool:
         """Admit a released transfer; True if it owns the bus immediately."""
         self._check(stream)
         self.transfers_carried += 1
         if self.sharing == "fair":
             self.members.add(stream)
+            if self.tracer is not None:
+                self.tracer.counter(now, "queue_depth", self._track,
+                                    float(len(self.members)))
             return True
         if self.current is None:
             self.current = stream
+            if self.tracer is not None:
+                self.tracer.counter(now, "queue_depth", self._track, 0.0)
             return True
         self.queue.append(stream)
         self.max_queue_depth = max(self.max_queue_depth, len(self.queue))
+        if self.tracer is not None:
+            self.tracer.counter(now, "queue_depth", self._track,
+                                float(len(self.queue)))
         return False
 
-    def finish(self, stream: FluidStream) -> FluidStream | None:
+    def finish(self, stream: FluidStream,
+               now: float = 0.0) -> FluidStream | None:
         """Retire a completed transfer; returns the next granted stream.
 
         In fair mode there is no grant hand-off (everything already
@@ -95,9 +113,15 @@ class FluidBus:
         """
         if self.sharing == "fair":
             self.members.discard(stream)
+            if self.tracer is not None:
+                self.tracer.counter(now, "queue_depth", self._track,
+                                    float(len(self.members)))
             return None
         if self.current is stream:
             self.current = self.queue.popleft() if self.queue else None
+            if self.tracer is not None:
+                self.tracer.counter(now, "queue_depth", self._track,
+                                    float(len(self.queue)))
             return self.current
         # A stream that never reached the head (e.g. retired at drain).
         try:

@@ -70,6 +70,9 @@ class FluidStream:
     #: DMA-memory requests this stream stands for (0 for PROC/MIGRATION);
     #: used by DMA-TA to size the stream's per-transfer slack budget.
     num_requests: int = 0
+    #: Engine-assigned per-run transfer ordinal (deterministic, unlike
+    #: ``stream_id``); keys the audit layer's per-transfer waterfall.
+    seq: int = 0
     stream_id: int = field(default_factory=lambda: next(_stream_ids))
 
     # Dynamics (engine-managed).

@@ -214,11 +214,20 @@ class FluidChip:
         if self.tracer is not None and delta > 0:
             idle_bucket = ("idle_dma" if self._has_dma_stream
                            else "idle_threshold")
+            # The nested joules dict uses the exact expressions of the
+            # accrual below, so the audit ledger's replay is
+            # bit-comparable with the chip's own accumulation.
             self.tracer.span(self._time, delta, "active", self._track, {
                 "serving_dma": delta * rates.dma,
                 "serving_proc": delta * rates.proc,
                 "migration": delta * rates.migration,
                 idle_bucket: delta * idle_fraction,
+                "joules": {
+                    "serving_dma": power * seconds * rates.dma,
+                    "serving_proc": power * seconds * rates.proc,
+                    "migration": power * seconds * rates.migration,
+                    idle_bucket: power * seconds * idle_fraction,
+                },
             })
 
         self.time.serving_dma += delta * rates.dma
@@ -268,7 +277,8 @@ class FluidChip:
                 else:
                     name = segment.state.value
                 self.tracer.span(self._idle_since + lo, cycles, name,
-                                 self._track, {"bucket": segment.bucket})
+                                 self._track, {"bucket": segment.bucket,
+                                               "joules": joules})
             if segment.end >= offset_end:
                 break
 
@@ -292,13 +302,16 @@ class FluidChip:
 
         segment = self._segment_at(now - self._idle_since)
         ready = now
+        wake_joules = 0.0
         if segment.bucket == _SEG_TRANSITION and segment.target is not None:
             # Finish the downward transition, then resynchronise.
             remaining = (self._idle_since + segment.end) - now
             down = self.model.downward[segment.target]
-            self.time.transition += remaining
-            self.energy.transition += (
+            drain_joules = (
                 down.power_watts * remaining / self.model.frequency_hz)
+            self.time.transition += remaining
+            self.energy.transition += drain_joules
+            wake_joules += drain_joules
             ready += remaining
             self._count_transition(segment.state, segment.target)
             state = segment.target
@@ -306,15 +319,18 @@ class FluidChip:
             state = segment.state
         if state is not PowerState.ACTIVE:
             up = self.model.upward[state]
+            up_joules = self.model.transition_energy(up)
             self.time.transition += up.time_cycles
-            self.energy.transition += self.model.transition_energy(up)
+            self.energy.transition += up_joules
+            wake_joules += up_joules
             ready += up.time_cycles
             self.wake_count += 1
             self._count_transition(state, PowerState.ACTIVE)
         if self.tracer is not None and ready > now:
             self.tracer.span(now, ready - now, "wake", self._track,
                              {"bucket": _SEG_TRANSITION,
-                              "from": state.value})
+                              "from": state.value,
+                              "joules": wake_joules})
         self._time = ready
         # The chip is ACTIVE from the ready instant: re-anchor the idle
         # profile there so a second wake issued at (or after) ready sees

@@ -19,15 +19,30 @@ The observability layer of the simulator:
   engine runs (``REPRO_PROFILE=1`` / ``--profile``): folded hot paths on
   every :class:`~repro.sim.results.SimulationResult` and an extra
   ``profile`` track in the Perfetto export.
+* **audit** (:mod:`repro.obs.audit`) — an online :class:`Auditor` sink
+  that maintains per-transfer latency waterfalls, an
+  energy-conservation ledger cross-checked against
+  :class:`~repro.energy.accounting.EnergyBreakdown`, and a live replay
+  of the DMA-TA slack-guarantee machinery (``repro audit``).
 
 See ``docs/OBSERVABILITY.md`` for the event schema and a Perfetto
 walkthrough.
 """
 
+from repro.obs.audit import (
+    AuditReport,
+    AuditViolation,
+    Auditor,
+    audit_events,
+    audit_result,
+    audit_summary,
+    write_audit_report,
+)
 from repro.obs.events import (
     PH_COUNTER,
     PH_INSTANT,
     PH_SPAN,
+    TRACK_AUDIT,
     TRACK_BUS,
     TRACK_CHIP,
     TRACK_CONTROLLER,
@@ -76,7 +91,10 @@ __all__ = [
     # events
     "Event", "PH_SPAN", "PH_INSTANT", "PH_COUNTER",
     "TRACK_CHIP", "TRACK_BUS", "TRACK_CONTROLLER", "TRACK_SIM",
-    "TRACK_PROFILE", "chip_track", "bus_track",
+    "TRACK_PROFILE", "TRACK_AUDIT", "chip_track", "bus_track",
+    # audit
+    "Auditor", "AuditReport", "AuditViolation", "audit_events",
+    "audit_result", "audit_summary", "write_audit_report",
     # perf
     "PROFILE_ENV", "profiling_enabled", "run_profiled", "fold_profile",
     "merge_profiles", "profile_events",

@@ -37,6 +37,7 @@ TRACK_BUS = "bus"
 TRACK_CONTROLLER = "controller"
 TRACK_SIM = "sim"
 TRACK_PROFILE = "profile"
+TRACK_AUDIT = "audit"
 
 
 @dataclass(slots=True)

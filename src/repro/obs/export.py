@@ -31,6 +31,7 @@ from repro.obs.events import (
     PH_INSTANT,
     PH_SPAN,
     PHASES,
+    TRACK_AUDIT,
     TRACK_BUS,
     TRACK_CHIP,
     TRACK_PROFILE,
@@ -42,6 +43,7 @@ _PID_MEMORY = 1
 _PID_IO = 2
 _PID_POLICY = 3
 _PID_PROFILE = 4
+_PID_AUDIT = 5
 
 #: The time buckets a residency span may claim (TimeBreakdown fields).
 RESIDENCY_BUCKETS = ("serving_dma", "serving_proc", "idle_dma",
@@ -58,6 +60,9 @@ def _track_key(track: str) -> tuple[int, int, str]:
         return (_PID_IO, int(index), f"bus {index}")
     if kind == TRACK_PROFILE:
         return (_PID_PROFILE, 0, "hot paths (cProfile)")
+    if kind == TRACK_AUDIT:
+        rank = int(index) if index.isdigit() else 0
+        return (_PID_AUDIT, rank, f"waterfall #{rank}" if index else "audit")
     return (_PID_POLICY, 0, track)
 
 
@@ -109,7 +114,8 @@ def chrome_trace(events: Iterable[Event],
         trace_events.append(out)
 
     process_names = {_PID_MEMORY: "memory chips", _PID_IO: "I/O buses",
-                     _PID_POLICY: "policies", _PID_PROFILE: "profiler"}
+                     _PID_POLICY: "policies", _PID_PROFILE: "profiler",
+                     _PID_AUDIT: "audit waterfalls"}
     for pid in sorted({pid for pid, _, _ in tracks.values()}):
         trace_events.append({
             "name": "process_name", "ph": "M", "pid": pid, "tid": 0,

@@ -109,6 +109,9 @@ class FluidEngine:
                      sharing=config.buses.sharing)
             for i in range(config.buses.count)
         ]
+        if self.tracer is not None:
+            for bus in self.buses:
+                bus.tracer = self.tracer
         self.assigner = BusAssigner(config.buses.count)
 
         if technique in ("dma-ta", "dma-ta-pl"):
@@ -192,6 +195,22 @@ class FluidEngine:
 
     def run(self) -> SimulationResult:
         """Execute the simulation and return its result."""
+        if self.tracer is not None:
+            # Run parameters up front, so sinks (the auditor especially)
+            # can bootstrap the guarantee/slack replay from the stream
+            # alone.
+            self.tracer.instant(0.0, "sim.config", TRACK_SIM, {
+                "engine": "fluid",
+                "technique": self.technique,
+                "mu": (self.config.alignment.mu
+                       if self.technique in ("dma-ta", "dma-ta-pl")
+                       else 0.0),
+                "service_cycles": self.config.undisturbed_service_cycles,
+                "epoch_cycles": self.config.alignment.epoch_cycles,
+                "frequency_hz": self.config.memory.power_model.frequency_hz,
+                "chips": self.config.memory.num_chips,
+                "buses": self.config.buses.count,
+            })
         if self.trace.records:
             self.queue.push(self.trace.records[0].time, EventKind.ARRIVAL, 0)
         epoch = self.controller.epoch_cycles()
@@ -281,7 +300,12 @@ class FluidEngine:
             arrival_time=now,
             release_time=now,
             num_requests=n_req,
+            seq=self.transfers,
         )
+        if self.tracer is not None:
+            self.tracer.instant(now, "dma.arrive", TRACK_SIM,
+                                {"id": stream.seq, "chip": chip.chip_id,
+                                 "bus": bus_id, "requests": n_req})
         if self._tracker is not None:
             # One reference per DMA transfer: counting individual
             # DMA-memory requests would saturate the narrow counters on a
@@ -417,7 +441,7 @@ class FluidEngine:
             if not stream.is_dma:
                 direct.append(stream)
                 continue
-            if self.buses[stream.bus_id].enqueue(stream):
+            if self.buses[stream.bus_id].enqueue(stream, now):
                 self._activate(self.memory.chips[stream.chip_id],
                                [stream], now, notify=notify)
         if direct:
@@ -444,6 +468,12 @@ class FluidEngine:
                     stream.release_time - stream.arrival_time)
                 self.bus_wait_total += max(
                     0.0, now - stream.release_time)
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        now, "dma.start", TRACK_SIM,
+                        {"id": stream.seq, "chip": chip.chip_id,
+                         "wake": max(0.0, ready - now),
+                         "bus_wait": max(0.0, now - stream.release_time)})
         if ready > now + 1e-9:
             self._pending_starts += 1
             self.queue.push(ready, EventKind.STREAM_START,
@@ -468,7 +498,7 @@ class FluidEngine:
         self._active.discard(stream)
         granted = None
         if stream.is_dma:
-            granted = self.buses[stream.bus_id].finish(stream)
+            granted = self.buses[stream.bus_id].finish(stream, now)
             self.extra_service_total += stream.extra_service_cycles
             requests = stream.num_requests or 1
             per_request_extra = (
@@ -476,6 +506,16 @@ class FluidEngine:
                 + stream.extra_service_cycles) / requests
             self._dma_service_hist.record(
                 self.config.undisturbed_service_cycles + per_request_extra)
+            if self.tracer is not None:
+                self.tracer.instant(
+                    now, "dma.done", TRACK_SIM,
+                    {"id": stream.seq, "chip": stream.chip_id,
+                     "extra": stream.extra_service_cycles,
+                     "waited": max(0.0, stream.release_time
+                                   - stream.arrival_time),
+                     "mig": int(any(
+                         s.kind is StreamKind.MIGRATION
+                         for s in self._streams_at[stream.chip_id]))})
             record = stream.record
             if isinstance(record, DMATransfer) and record.request_id is not None:
                 prior = self._last_completion.get(record.request_id, 0.0)

@@ -29,7 +29,7 @@ from repro.energy.states import PowerState
 from repro.errors import ConfigurationError, GuaranteeViolationError
 from repro.io.devices import BusAssigner
 from repro.memory.address import MutableLayout, PageLayout, RandomLayout
-from repro.obs.events import TRACK_SIM, chip_track
+from repro.obs.events import TRACK_SIM, bus_track, chip_track
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import active_tracer
 from repro.sim.engine import EventQueue
@@ -73,6 +73,14 @@ class _PTransfer:
     #: — and stalls when the chip falls behind (e.g. while waking).
     outstanding: int = 0
     stalled: bool = False
+    #: Engine-assigned per-run transfer ordinal (deterministic, unlike
+    #: ``id(self)``); keys the audit layer's per-transfer waterfall.
+    seq: int = 0
+    #: Wake latency paid by this transfer's release (audit waterfall).
+    wake_wait: float = 0.0
+    #: Per-request service inflation accumulated for this transfer;
+    #: only maintained while a tracer is attached.
+    extra_cycles: float = 0.0
 
     @property
     def done(self) -> bool:
@@ -169,7 +177,7 @@ class _PChip:
                 self.energy.migration += joules
             if self.tracer is not None:
                 self.tracer.span(start, delta, "serve", self._track,
-                                 {"bucket": bucket})
+                                 {"bucket": bucket, "joules": joules})
             return
 
         if self.waking_until is not None or self.transition_until is not None:
@@ -178,7 +186,8 @@ class _PChip:
             self.energy.transition += self._transit_power * seconds
             if self.tracer is not None:
                 self.tracer.span(start, delta, "transition", self._track,
-                                 {"bucket": "transition"})
+                                 {"bucket": "transition",
+                                  "joules": self._transit_power * seconds})
             return
 
         power = self.model.power(self.state)
@@ -200,7 +209,7 @@ class _PChip:
             self.energy.low_power += joules
         if self.tracer is not None:
             self.tracer.span(start, delta, name, self._track,
-                             {"bucket": bucket})
+                             {"bucket": bucket, "joules": joules})
 
     _transit_power = 0.0
 
@@ -242,11 +251,13 @@ class _PChip:
         if self.transition_until is not None and self.transition_until > now:
             down = self.model.downward[self.transition_target]
             leg = self.transition_until - now
+            leg_joules = down.power_watts * leg / self.model.frequency_hz
             self.time.transition += leg
-            self.energy.transition += down.power_watts * leg / self.model.frequency_hz
+            self.energy.transition += leg_joules
             if self.tracer is not None:
                 self.tracer.span(now, leg, "transition", self._track,
-                                 {"bucket": "transition"})
+                                 {"bucket": "transition",
+                                  "joules": leg_joules})
             self._last = self.transition_until
         self.transition_until = None
         self.transition_target = None
@@ -396,6 +407,19 @@ class PreciseEngine:
     # ------------------------------------------------------------------
 
     def run(self) -> SimulationResult:
+        if self.tracer is not None:
+            self.tracer.instant(0.0, "sim.config", TRACK_SIM, {
+                "engine": "precise",
+                "technique": self.technique,
+                "mu": (self.config.alignment.mu
+                       if self.technique in ("dma-ta", "dma-ta-pl")
+                       else 0.0),
+                "service_cycles": self.config.undisturbed_service_cycles,
+                "epoch_cycles": self.config.alignment.epoch_cycles,
+                "frequency_hz": self.config.memory.power_model.frequency_hz,
+                "chips": self.config.memory.num_chips,
+                "buses": self.config.buses.count,
+            })
         if self.trace.records:
             self.queue.push(self.trace.records[0].time, _EV_ARRIVAL, 0)
         epoch = self.controller.epoch_cycles()
@@ -453,7 +477,12 @@ class PreciseEngine:
         self.transfers += 1
         self.requests += n_req
         transfer = _PTransfer(record=record, chip_id=chip_id, bus_id=bus_id,
-                              total_requests=n_req, arrival_time=now)
+                              total_requests=n_req, arrival_time=now,
+                              seq=self.transfers)
+        if self.tracer is not None:
+            self.tracer.instant(now, "dma.arrive", TRACK_SIM,
+                                {"id": transfer.seq, "chip": chip_id,
+                                 "bus": bus_id, "requests": n_req})
         if self._tracker is not None:
             self._tracker.record(page, 1)  # one reference per transfer
 
@@ -488,6 +517,7 @@ class PreciseEngine:
             self.controller.on_wake(chip_id, latency, now, len(transfers))
         for transfer in transfers:
             transfer.release_time = now
+            transfer.wake_wait = latency
             self.head_delay_total += transfer.head_delay
             self._open_transfers += 1
             chip.touch(now)
@@ -503,6 +533,9 @@ class PreciseEngine:
             self._transmit(transfer, now)
         else:
             self._bus_fifo[bus_id].append(transfer)
+            if self.tracer is not None:
+                self.tracer.counter(now, "queue_depth", bus_track(bus_id),
+                                    float(len(self._bus_fifo[bus_id])))
 
     def _transmit(self, transfer: _PTransfer, now: float) -> None:
         """Put one DMA-memory request of ``transfer`` on its bus."""
@@ -512,6 +545,15 @@ class PreciseEngine:
         self._bus_free_at[bus_id] = end
         transfer.transmitted += 1
         transfer.outstanding += 1
+        if self.tracer is not None and transfer.transmitted == 1:
+            # The transfer's first request hits the wire: the waterfall's
+            # wake and bus-queueing stages are now known.
+            self.tracer.instant(now, "dma.start", TRACK_SIM,
+                                {"id": transfer.seq,
+                                 "chip": transfer.chip_id,
+                                 "wake": transfer.wake_wait,
+                                 "bus_wait": max(0.0, start
+                                                 - transfer.release_time)})
         self.queue.push(end, _EV_REQUEST_AT_CHIP, transfer)
         self.queue.push(end, _EV_BUS_FREE, bus_id)
 
@@ -531,6 +573,9 @@ class PreciseEngine:
         fifo = self._bus_fifo[bus_id]
         if fifo:
             nxt = fifo.popleft()
+            if self.tracer is not None:
+                self.tracer.counter(now, "queue_depth", bus_track(bus_id),
+                                    float(len(fifo)))
             self._bus_current[bus_id] = nxt
             self._transmit(nxt, now)
 
@@ -601,6 +646,8 @@ class PreciseEngine:
             transfer.served += 1
             extra = (now - request.arrival) - request.cycles
             self.extra_service_total += max(0.0, extra)
+            if self.tracer is not None:
+                transfer.extra_cycles += max(0.0, extra)
             self._dma_service_hist.record(
                 max(request.cycles, now - request.arrival)
                 + transfer.head_delay / transfer.total_requests)
@@ -608,6 +655,13 @@ class PreciseEngine:
             if transfer.done:
                 chip.inflight_transfers -= 1
                 self._open_transfers -= 1
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        now, "dma.done", TRACK_SIM,
+                        {"id": transfer.seq, "chip": transfer.chip_id,
+                         "extra": transfer.extra_cycles,
+                         "waited": transfer.head_delay,
+                         "mig": int(bool(chip.queue[_PRIO_MIGRATION]))})
                 record = transfer.record
                 if record.request_id is not None:
                     prior = self._last_completion.get(record.request_id, 0.0)

@@ -1,0 +1,113 @@
+"""Property test: the audit energy ledger balances for any workload.
+
+The :class:`~repro.obs.audit.Auditor` re-derives per-chip per-bucket
+joules from the ``joules`` payloads the residency spans carry. For
+arbitrary small traces, under every policy technique and both engines,
+the replayed ledger must agree with the run's own
+:class:`~repro.energy.accounting.EnergyBreakdown` — per chip and per
+bucket — within float round-off, and the audit must record zero
+violations on an unmodified simulator.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import simulate
+from repro.config import BusConfig, MemoryConfig, SimulationConfig
+from repro.obs.audit import KIND_GUARANTEE, Auditor
+from repro.obs.export import RESIDENCY_BUCKETS
+from repro.sim.run import ENGINES, TECHNIQUES
+from repro.traces.records import DMATransfer, ProcessorBurst
+from repro.traces.trace import Trace
+
+MB = 1 << 20
+
+CONFIG = SimulationConfig(
+    memory=MemoryConfig(num_chips=4, chip_bytes=MB, page_bytes=8192),
+    buses=BusConfig(count=3),
+)
+
+transfers = st.builds(
+    DMATransfer,
+    time=st.floats(min_value=0.0, max_value=150_000.0),
+    page=st.integers(min_value=0, max_value=63),
+    size_bytes=st.sampled_from([512, 8192]),
+    source=st.sampled_from(["network", "disk"]),
+)
+
+bursts = st.builds(
+    ProcessorBurst,
+    time=st.floats(min_value=0.0, max_value=150_000.0),
+    page=st.integers(min_value=0, max_value=63),
+    count=st.integers(min_value=1, max_value=32),
+)
+
+workloads = st.lists(st.one_of(transfers, bursts), min_size=1, max_size=10)
+
+
+def _assert_ledger_balances(trace, technique, engine, mu=None):
+    auditor = Auditor()
+    result = simulate(trace, config=CONFIG, technique=technique,
+                      engine=engine, mu=mu, tracer=auditor)
+    report = auditor.finalize(result)
+    # Colliding random transfers on this tiny platform can genuinely
+    # push the live running-average monitor past the soft (1+mu)*T
+    # allowance (sometimes only transiently, recovering by run end) —
+    # that is a workload truth, not a ledger bug, and the detection
+    # semantics are pinned deterministically in test_obs_audit.py.
+    # Anything else (under-charge, drift, conservation) is a real
+    # audit failure.
+    unexplained = [v for v in report.violations
+                   if v.kind != KIND_GUARANTEE]
+    assert not unexplained, [v.as_dict() for v in unexplained]
+    assert report.ledger_checked
+
+    chip_energy = result.chip_energy
+    assert set(report.ledger) <= set(range(len(chip_energy)))
+    for chip_id, buckets in report.ledger.items():
+        replayed = math.fsum(buckets.values())
+        assert replayed == pytest.approx(
+            chip_energy[chip_id], rel=1e-9,
+            abs=1e-9 * max(abs(chip_energy[chip_id]), 1.0))
+
+    accounted = result.energy.as_dict()
+    for bucket in RESIDENCY_BUCKETS:
+        expected = accounted.get(bucket, 0.0)
+        replayed = sum(b.get(bucket, 0.0) for b in report.ledger.values())
+        assert replayed == pytest.approx(
+            expected, rel=1e-9, abs=1e-9 * max(abs(expected), 1.0))
+
+
+@given(workloads, st.sampled_from(TECHNIQUES))
+@settings(max_examples=20, deadline=None)
+def test_fluid_ledger_balances_all_policies(records, technique):
+    trace = Trace(name="audit-prop", records=list(records),
+                  duration_cycles=250_000.0)
+    mu = 1.0 if technique in ("dma-ta", "dma-ta-pl") else None
+    _assert_ledger_balances(trace, technique, "fluid", mu=mu)
+
+
+@given(workloads, st.sampled_from(TECHNIQUES))
+@settings(max_examples=10, deadline=None)
+def test_precise_ledger_balances_all_policies(records, technique):
+    trace = Trace(name="audit-prop", records=list(records),
+                  duration_cycles=250_000.0)
+    mu = 1.0 if technique in ("dma-ta", "dma-ta-pl") else None
+    _assert_ledger_balances(trace, technique, "precise", mu=mu)
+
+
+@given(workloads, st.sampled_from(ENGINES))
+@settings(max_examples=10, deadline=None)
+def test_audited_run_is_bit_identical(records, engine):
+    """Attaching the auditor must not perturb the simulation."""
+    trace = Trace(name="audit-prop", records=list(records),
+                  duration_cycles=250_000.0)
+    bare = simulate(trace, config=CONFIG, technique="dma-ta", mu=1.0,
+                    engine=engine)
+    audited = simulate(trace, config=CONFIG, technique="dma-ta", mu=1.0,
+                       engine=engine, tracer=Auditor())
+    assert audited.energy_joules == bare.energy_joules
+    assert audited.chip_energy == bare.chip_energy
+    assert audited.energy.as_dict() == bare.energy.as_dict()

@@ -156,6 +156,70 @@ class TestTraceVerb:
         assert validate_chrome_trace(
             json.loads(out_path.read_text())) == []
 
+    def test_eventless_run_warns_and_skips_export(
+            self, trace_file, tmp_path, capsys, monkeypatch):
+        import repro.cli as cli
+
+        real = cli.simulate
+
+        def muted(trace, **kwargs):
+            kwargs.pop("tracer", None)
+            return real(trace, **kwargs)
+
+        monkeypatch.setattr(cli, "simulate", muted)
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", str(trace_file),
+                     "--out", str(out_path)]) == 0
+        captured = capsys.readouterr()
+        assert "no trace events" in captured.err
+        assert not out_path.exists()
+
+
+class TestAuditVerb:
+    def test_strict_clean_run_exits_zero(self, trace_file, tmp_path,
+                                         capsys):
+        report_path = tmp_path / "audit.json"
+        assert main(["audit", str(trace_file), "--technique", "dma-ta",
+                     "--mu", "2.0", "--strict",
+                     "--out", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "audit: OK" in out
+        assert "latency waterfall" in out
+        assert "energy ledger" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["ok"] is True
+        assert payload["energy"]["checked"] is True
+
+    def test_strict_injected_undercharge_exits_nonzero(
+            self, trace_file, capsys):
+        code = main(["audit", str(trace_file), "--technique", "dma-ta",
+                     "--mu", "50", "--strict",
+                     "--inject-undercharge", "0.5"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "slack-undercharge" in err
+
+    def test_inject_requires_slack_account(self, trace_file, capsys):
+        assert main(["audit", str(trace_file), "--technique", "baseline",
+                     "--inject-undercharge", "0.5"]) == 2
+        assert "DMA-TA" in capsys.readouterr().err
+
+    def test_trace_out_includes_waterfall_spans(self, trace_file,
+                                                tmp_path, capsys):
+        trace_out = tmp_path / "audit_trace.json"
+        assert main(["audit", str(trace_file), "--technique", "dma-ta",
+                     "--mu", "2.0", "--trace-out", str(trace_out)]) == 0
+        obj = json.loads(trace_out.read_text())
+        assert validate_chrome_trace(obj) == []
+        names = {e.get("name") for e in obj["traceEvents"]}
+        assert "slack" in names  # the live slack-balance counter track
+
+    def test_precise_engine_audits(self, trace_file, capsys):
+        assert main(["audit", str(trace_file), "--engine", "precise",
+                     "--technique", "dma-ta", "--mu", "2.0",
+                     "--strict"]) == 0
+        assert "audit: OK" in capsys.readouterr().out
+
 
 class TestStatsVerb:
     def test_prints_metrics_report(self, trace_file, capsys):
