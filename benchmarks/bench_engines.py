@@ -1,9 +1,11 @@
-"""Engine performance and agreement: fluid vs precise.
+"""Engine performance and agreement: fluid vs precise vs scalar oracle.
 
-Not a paper figure — this bench justifies the methodology: the fluid
-(change-point) engine must reproduce the per-request reference engine's
-energy numbers while running orders of magnitude faster, which is what
-makes the full figure sweeps tractable.
+Not a paper figure — this bench justifies the methodology twice over:
+the fluid (change-point) engine must reproduce the per-request reference
+engine's energy numbers while running orders of magnitude faster, and
+the vectorized precise engine (the array-timeline kernel) must match the
+scalar event-stepping oracle bit-for-bit while delivering its own
+speedup (``oracle/speedup``; see docs/ENGINES.md).
 """
 
 import time
@@ -27,6 +29,12 @@ def test_engine_agreement_and_speed(benchmark):
         precise = simulate(trace, technique="baseline", engine="precise")
         precise_s = time.perf_counter() - start
 
+    with watch.phase("precise-scalar"):
+        start = time.perf_counter()
+        scalar = simulate(trace, technique="baseline",
+                          engine="precise-scalar")
+        scalar_s = time.perf_counter() - start
+
     with watch.phase("fluid"):
         fluid = benchmark.pedantic(
             lambda: simulate(trace, technique="baseline", engine="fluid"),
@@ -42,6 +50,9 @@ def test_engine_agreement_and_speed(benchmark):
         ["precise", f"{precise_s * 1e3:.1f} ms",
          f"{precise.energy_joules * 1e3:.4f}",
          f"{precise.utilization_factor:.4f}"],
+        ["precise-scalar", f"{scalar_s * 1e3:.1f} ms",
+         f"{scalar.energy_joules * 1e3:.4f}",
+         f"{scalar.utilization_factor:.4f}"],
         ["speedup / delta", f"{precise_s / max(fluid_s, 1e-9):.0f}x",
          f"{abs(1 - fluid.energy_joules / precise.energy_joules) * 100:.2f}%",
          f"{abs(fluid.utilization_factor - precise.utilization_factor):.4f}"],
@@ -64,9 +75,18 @@ def test_engine_agreement_and_speed(benchmark):
                precise_s / max(fluid_s, 1e-9), unit="x"),
         metric("fluid/wall_s", fluid_s, unit="s"),
         metric("precise/wall_s", precise_s, unit="s"),
+        # The scalar oracle must agree bit-for-bit with the vectorized
+        # precise engine — not within tolerance (see docs/ENGINES.md).
+        metric("oracle/energy_delta",
+               abs(scalar.energy_joules - precise.energy_joules),
+               unit="J", expected=0.0),
+        metric("oracle/speedup", scalar_s / max(precise_s, 1e-9),
+               unit="x"),
+        metric("precise_scalar/wall_s", scalar_s, unit="s"),
     ]
     save_record("engines", "engines", metrics, phases=watch.phases)
 
+    assert scalar.energy.as_dict() == precise.energy.as_dict()
     assert abs(1 - fluid.energy_joules / precise.energy_joules) < 0.03
     assert precise_s > fluid_s
 

@@ -25,10 +25,8 @@ from repro.bench.trajectory import (
     load_all_trajectories,
     load_result_records,
 )
+from repro.bench.record import QUICK_BENCH_MS
 from repro.errors import ReproError
-
-#: ``--quick`` trace duration, in ms (matches the CI smoke setting).
-QUICK_BENCH_MS = 5.0
 
 
 def add_bench_parser(commands) -> None:

@@ -45,12 +45,26 @@ class Tolerance:
         fidelity_abs: absolute half-width on |relative deviation| from
             the paper value (0.02 = two percentage points of deviation).
         mad_k: how many MADs of baseline scatter widen the band.
+        perf_metrics: names of record metrics gated as standalone
+            lower-is-better performance values (e.g. an engine's
+            wall-clock recorded as a metric rather than a phase), judged
+            with ``perf_rel`` / ``perf_abs`` bands. A step improvement
+            (like a 10x engine speedup) classifies as IMPROVED, never as
+            a gate failure — only slower-than-band regresses.
+        perf_rel: relative half-width for ``perf_metrics``.
+        perf_abs: absolute floor for ``perf_metrics``, in the metric's
+            own unit (seconds for wall metrics) — tighter than
+            ``wall_abs_s`` since these metrics time a single engine run,
+            not a whole bench.
     """
 
     wall_rel: float = 0.60
     wall_abs_s: float = 0.25
     fidelity_abs: float = 0.02
     mad_k: float = 3.0
+    perf_metrics: tuple = ()
+    perf_rel: float = 0.60
+    perf_abs: float = 0.05
 
 
 #: The default band, applied when a figure has no override.
@@ -61,7 +75,11 @@ DEFAULT_TOLERANCE = Tolerance()
 #: band is wider; table1 regenerates exact published constants, so its
 #: fidelity band is tight.
 FIGURE_TOLERANCES: dict[str, Tolerance] = {
-    "engines": replace(DEFAULT_TOLERANCE, fidelity_abs=0.05),
+    # ``precise/wall_s`` is gated directly so a slowdown in the precise
+    # engine's array-timeline kernel fails CI even when the bench's
+    # total wall (dominated by other phases) stays inside its band.
+    "engines": replace(DEFAULT_TOLERANCE, fidelity_abs=0.05,
+                       perf_metrics=("precise/wall_s",)),
     "table1": replace(DEFAULT_TOLERANCE, fidelity_abs=0.001),
 }
 
@@ -91,22 +109,28 @@ class Verdict:
 
     figure: str
     record: str
-    metric: str          # "wall_s" or "fidelity:<metric name>"
+    metric: str          # "wall_s", "perf:<name>", or "fidelity:<name>"
     kind: str            # "performance" | "fidelity"
     value: float
     status: str          # IMPROVED / UNCHANGED / REGRESSED / NO_BASELINE
     baseline_median: float | None = None
     band: float = 0.0    # half-width actually applied
     baseline_runs: int = 0
+    #: The candidate came from a ``--quick`` smoke run (short trace).
+    #: Quick runs are known to deviate on some figures (see ROADMAP), so
+    #: every renderer marks them to keep smoke noise from being read as
+    #: a fidelity regression.
+    quick: bool = False
 
     def describe(self) -> str:
+        tag = " [quick run]" if self.quick else ""
         if self.status == NO_BASELINE:
             return (f"{self.record}/{self.metric}: {self.value:.4g} "
-                    f"(no comparable baseline)")
+                    f"(no comparable baseline){tag}")
         return (f"{self.record}/{self.metric}: {self.value:.4g} vs "
                 f"median {self.baseline_median:.4g} "
                 f"+/- {self.band:.4g} over {self.baseline_runs} run(s) "
-                f"-> {self.status}")
+                f"-> {self.status}{tag}")
 
 
 @dataclass
@@ -202,6 +226,8 @@ def compare_records(
         comparison.verdicts.append(
             _judge_wall(candidate, history, tol))
         comparison.verdicts.extend(
+            _judge_perf_metrics(candidate, history, tol))
+        comparison.verdicts.extend(
             _judge_fidelity(candidate, history, tol))
     return comparison
 
@@ -210,7 +236,7 @@ def _judge_wall(candidate: BenchRecord, history: list[BenchRecord],
                 tol: Tolerance) -> Verdict:
     base = dict(figure=candidate.figure, record=candidate.name,
                 metric="wall_s", kind="performance",
-                value=candidate.wall_s)
+                value=candidate.wall_s, quick=candidate.is_quick)
     walls = [run.wall_s for run in history if run.phases]
     if not walls or not candidate.phases:
         return Verdict(status=NO_BASELINE, **base)
@@ -221,13 +247,39 @@ def _judge_wall(candidate: BenchRecord, history: list[BenchRecord],
                    baseline_runs=len(walls), **base)
 
 
+def _judge_perf_metrics(candidate: BenchRecord,
+                        history: list[BenchRecord],
+                        tol: Tolerance) -> list[Verdict]:
+    """Gate the figure's named lower-is-better performance metrics."""
+    verdicts = []
+    values = {m.name: m.value for m in candidate.metrics}
+    for name in tol.perf_metrics:
+        if name not in values:
+            continue
+        base = dict(figure=candidate.figure, record=candidate.name,
+                    metric=f"perf:{name}", kind="performance",
+                    value=values[name], quick=candidate.is_quick)
+        baseline = [m.value for run in history for m in run.metrics
+                    if m.name == name]
+        if not baseline:
+            verdicts.append(Verdict(status=NO_BASELINE, **base))
+            continue
+        status, centre, band = classify(
+            values[name], baseline, rel_tol=tol.perf_rel,
+            abs_tol=tol.perf_abs, mad_k=tol.mad_k)
+        verdicts.append(Verdict(
+            status=status, baseline_median=centre, band=band,
+            baseline_runs=len(baseline), **base))
+    return verdicts
+
+
 def _judge_fidelity(candidate: BenchRecord, history: list[BenchRecord],
                     tol: Tolerance) -> list[Verdict]:
     verdicts = []
     for name, deviation in candidate.deviations().items():
         base = dict(figure=candidate.figure, record=candidate.name,
                     metric=f"fidelity:{name}", kind="fidelity",
-                    value=abs(deviation))
+                    value=abs(deviation), quick=candidate.is_quick)
         baseline = [abs(run.deviations()[name]) for run in history
                     if name in run.deviations()]
         if not baseline:
@@ -245,6 +297,11 @@ def _judge_fidelity(candidate: BenchRecord, history: list[BenchRecord],
 def render_comparison(comparison: Comparison, verbose: bool = False) -> str:
     """Human-readable compare output (regressions always itemised)."""
     lines = [f"bench compare: {comparison.summary()}"]
+    if any(v.quick for v in comparison.verdicts):
+        lines.append("  note: [quick run] marks short-trace smoke "
+                     "records — known to deviate on some figures "
+                     "(fig 5 quick-mode, see ROADMAP); don't read them "
+                     "as fidelity regressions")
     shown = comparison.verdicts if verbose else comparison.regressions
     for verdict in shown:
         marker = {REGRESSED: "!", IMPROVED: "+",

@@ -30,6 +30,13 @@ SCHEMA_VERSION = 2
 #: Guard against division blow-ups for paper-expected values near zero.
 _EXPECTED_EPS = 1e-12
 
+#: Trace duration of a ``repro bench run --quick`` smoke run, in ms.
+#: Records at or below this duration are marked as quick in the compare
+#: output and the HTML report: short traces are known to deviate on some
+#: figures (fig 5 quick-mode, see ROADMAP) and must not be read as
+#: fidelity regressions.
+QUICK_BENCH_MS = 5.0
+
 
 @dataclass(frozen=True)
 class Metric:
@@ -130,6 +137,12 @@ class BenchRecord:
         """The trace duration the run used (the comparability key)."""
         value = self.meta.get("bench_ms")
         return float(value) if isinstance(value, (int, float)) else None
+
+    @property
+    def is_quick(self) -> bool:
+        """True when the record came from a ``--quick`` smoke run."""
+        ms = self.bench_ms
+        return ms is not None and ms <= QUICK_BENCH_MS
 
     def deviations(self) -> dict[str, float]:
         """``metric name -> relative deviation`` for paper-tied metrics."""
@@ -268,6 +281,6 @@ def metrics_from_pairs(
 
 
 __all__ = [
-    "SCHEMA_VERSION", "Metric", "Phase", "BenchRecord",
+    "SCHEMA_VERSION", "QUICK_BENCH_MS", "Metric", "Phase", "BenchRecord",
     "metrics_from_pairs",
 ]

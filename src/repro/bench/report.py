@@ -31,6 +31,9 @@ th { background: #eef0f6; } td:first-child, th:first-child
 .spark-label { font-size: .8em; color: #555; margin-right: .35em; }
 .dev-bad { color: #b3261e; } .dev-ok { color: #1b6e3c; }
 .meta { color: #666; font-size: .8em; }
+.quick { background: #fde293; color: #5f4b00; border-radius: .6em;
+         padding: .1em .55em; font-size: .65em; vertical-align: middle;
+         margin-left: .5em; }
 footer { margin-top: 3em; color: #888; font-size: .75em; }
 """
 
@@ -109,11 +112,21 @@ def _figure_section(figure: str, runs: Sequence[BenchRecord]) -> str:
         devs = [d for d in devs if d is not None]
         meta = ", ".join(f"{k}={v}" for k, v in sorted(latest.meta.items())
                          if k in ("bench_ms", "jobs", "repro", "python"))
+        # --quick smoke records are visibly badged: short traces deviate
+        # on some figures and must not be read as fidelity regressions.
+        badge = ('<span class="quick" title="short-trace smoke run '
+                 '(repro bench run --quick); not fidelity-comparable to '
+                 'full-length records">quick run</span>'
+                 if latest.is_quick else "")
+        quick_count = sum(1 for r in history if r.is_quick)
+        quick_note = (f"; {quick_count} quick run(s) in trajectory"
+                      if quick_count else "")
         parts.append(
-            f"<h3>{html.escape(name)}</h3>"
+            f"<h3>{html.escape(name)}{badge}</h3>"
             f'<p class="meta">{len(history)} run(s); latest '
             f"{html.escape(latest.created) or 'undated'}"
-            f"{'; ' + html.escape(meta) if meta else ''}</p>")
+            f"{'; ' + html.escape(meta) if meta else ''}"
+            f"{quick_note}</p>")
         spark_bits = []
         if walls:
             spark_bits.append(

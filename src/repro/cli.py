@@ -392,7 +392,8 @@ def _cmd_audit(args) -> int:
         from repro.sim.precise import PreciseEngine
 
         engine = PreciseEngine(trace, config, technique=args.technique,
-                               seed=args.seed, tracer=auditor)
+                               seed=args.seed, tracer=auditor,
+                               vectorize=args.engine != "precise-scalar")
     if args.inject_undercharge:
         slack = getattr(engine.controller, "slack", None)
         if slack is None:

@@ -32,7 +32,7 @@ class SimJob:
         trace: the input trace.
         technique: technique name (see :data:`repro.sim.run.TECHNIQUES`).
         config: platform configuration; ``None`` means the paper default.
-        engine: ``"fluid"`` or ``"precise"``.
+        engine: engine name (see :data:`repro.sim.run.ENGINES`).
         mu: raw DMA-TA degradation parameter (exclusive with cp_limit).
         cp_limit: client-perceived degradation limit (exclusive with mu).
         seed: page-layout seed.

@@ -55,6 +55,11 @@ class Histogram:
     def record(self, value: float) -> None:
         self._values.append(value)
 
+    def record_many(self, values: list[float]) -> None:
+        """Append a batch of samples (the summary is order-insensitive,
+        so batched recording is equivalent to repeated :meth:`record`)."""
+        self._values.extend(values)
+
     @property
     def count(self) -> int:
         return len(self._values)

@@ -14,6 +14,7 @@ use it for small traces, tests, and spot checks.
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Deque
@@ -81,6 +82,11 @@ class _PTransfer:
     #: Per-request service inflation accumulated for this transfer;
     #: only maintained while a tracer is attached.
     extra_cycles: float = 0.0
+    #: Stale ``REQUEST_AT_CHIP`` events to swallow. When the array-
+    #: timeline kernel fast-forwards a steady window it re-arms the
+    #: in-flight request at the post-window time; the pre-window event
+    #: pair is still in the heap and must be ignored once.
+    skip_arrivals: int = 0
 
     @property
     def done(self) -> bool:
@@ -133,6 +139,11 @@ class _PChip:
         self.queue: list[Deque[_Request]] = [deque(), deque(), deque()]
         self.serving: _Request | None = None
         self.inflight_transfers = 0
+        #: Transfers actively streaming to this chip (first request on
+        #: the wire through last request served), in stream-start order.
+        #: ``inflight_transfers`` also counts transfers parked in a bus
+        #: FIFO; the array-timeline kernel needs the distinction.
+        self.streams: list = []
 
         # Power state machinery.
         if self.schedule:
@@ -321,7 +332,7 @@ class PreciseEngine:
 
     def __init__(self, trace: Trace, config: SimulationConfig,
                  technique: str = "baseline", seed: int = 0,
-                 tracer=None) -> None:
+                 tracer=None, vectorize: bool = True) -> None:
         if technique not in TECHNIQUES:
             raise ConfigurationError(
                 f"unknown technique {technique!r}; expected one of {TECHNIQUES}")
@@ -375,6 +386,9 @@ class PreciseEngine:
             deque() for _ in range(config.buses.count)]
         self._bus_current: list[_PTransfer | None] = [None] * config.buses.count
         self._bus_free_at = [0.0] * config.buses.count
+        #: Stale ``BUS_FREE`` events to swallow per bus (see
+        #: :attr:`_PTransfer.skip_arrivals`).
+        self._bus_skip = [0] * config.buses.count
         bus_bytes_per_cycle = (config.buses.bandwidth_bytes_per_s
                                / config.frequency_hz)
         self._bus_gap = memory.request_bytes / bus_bytes_per_cycle
@@ -387,6 +401,21 @@ class PreciseEngine:
         self.queue = EventQueue()
         self._records_done = not trace.records
         self._open_transfers = 0
+
+        # Next times at which shared state can be observed (trace
+        # arrival, DMA-TA epoch, PL interval); the array-timeline
+        # kernel's batching horizon. Maintained wherever the
+        # corresponding events are (re-)scheduled.
+        self._next_arrival_time = (trace.records[0].time if trace.records
+                                   else math.inf)
+        self._next_epoch_time = math.inf
+        self._next_interval_time = math.inf
+        if vectorize:
+            from repro.sim.array_timeline import ArrayTimelineKernel
+
+            self._kernel: ArrayTimelineKernel | None = ArrayTimelineKernel(self)
+        else:
+            self._kernel = None
 
         # Statistics.
         self.transfers = 0
@@ -425,9 +454,11 @@ class PreciseEngine:
         epoch = self.controller.epoch_cycles()
         if epoch:
             self.queue.push(epoch, _EV_EPOCH, None)
+            self._next_epoch_time = epoch
         if self._pl_enabled:
             self.queue.push(self.config.layout.interval_cycles,
                             _EV_INTERVAL, None)
+            self._next_interval_time = self.config.layout.interval_cycles
 
         while self.queue:
             now, kind, payload = self.queue.pop()
@@ -459,9 +490,10 @@ class PreciseEngine:
     def _on_arrival(self, index: int, now: float) -> None:
         record = self.trace.records[index]
         if index + 1 < len(self.trace.records):
-            self.queue.push(self.trace.records[index + 1].time,
-                            _EV_ARRIVAL, index + 1)
+            self._next_arrival_time = self.trace.records[index + 1].time
+            self.queue.push(self._next_arrival_time, _EV_ARRIVAL, index + 1)
         else:
+            self._next_arrival_time = math.inf
             self._records_done = True
         if isinstance(record, DMATransfer):
             self._on_transfer(record, now)
@@ -540,6 +572,8 @@ class PreciseEngine:
     def _transmit(self, transfer: _PTransfer, now: float) -> None:
         """Put one DMA-memory request of ``transfer`` on its bus."""
         bus_id = transfer.bus_id
+        if transfer.transmitted == 0:
+            self.chips[transfer.chip_id].streams.append(transfer)
         start = max(now, self._bus_free_at[bus_id])
         end = start + self._bus_gap
         self._bus_free_at[bus_id] = end
@@ -561,6 +595,9 @@ class PreciseEngine:
         """The wire is free: keep the current transfer streaming, or hand
         the bus to the next queued transfer once this one has transmitted
         everything."""
+        if self._bus_skip[bus_id]:
+            self._bus_skip[bus_id] -= 1
+            return
         transfer = self._bus_current[bus_id]
         if transfer is not None:
             if transfer.transmitted < transfer.total_requests:
@@ -596,6 +633,9 @@ class PreciseEngine:
     # --- chip -----------------------------------------------------------
 
     def _on_request_at_chip(self, transfer: _PTransfer, now: float) -> None:
+        if transfer.skip_arrivals:
+            transfer.skip_arrivals -= 1
+            return
         chip = self.chips[transfer.chip_id]
         self.arrived_requests += 1
         # A request landing during a wake window starts its service clock
@@ -654,6 +694,7 @@ class PreciseEngine:
             self._on_request_ack(transfer, now)
             if transfer.done:
                 chip.inflight_transfers -= 1
+                chip.streams.remove(transfer)
                 self._open_transfers -= 1
                 if self.tracer is not None:
                     self.tracer.instant(
@@ -673,6 +714,8 @@ class PreciseEngine:
             chip.idle_since = now
             chip.descent_index = 0
             self._arm_descent(chip, now)
+            if self._kernel is not None and chip.streams:
+                self._kernel.try_batch(chip, now)
 
     # --- power descent ----------------------------------------------------
 
@@ -707,6 +750,7 @@ class PreciseEngine:
 
     def _on_epoch(self, payload, now: float) -> None:
         if not self._work_remaining():
+            self._next_epoch_time = math.inf
             return
         self.registry.counter("sim.epochs").inc()
         if self.tracer is not None:
@@ -718,10 +762,14 @@ class PreciseEngine:
             self._do_release(chip_id, transfers, now, notify=True)
         epoch = self.controller.epoch_cycles()
         if epoch:
-            self.queue.push(now + epoch, _EV_EPOCH, None)
+            self._next_epoch_time = now + epoch
+            self.queue.push(self._next_epoch_time, _EV_EPOCH, None)
+        else:
+            self._next_epoch_time = math.inf
 
     def _on_interval(self, payload, now: float) -> None:
         if self._records_done and self._open_transfers == 0:
+            self._next_interval_time = math.inf
             return
         assert self._tracker is not None
         ranked = self._tracker.ranked_pages()
@@ -747,8 +795,10 @@ class PreciseEngine:
                                           cycles=self._page_copy_cycles))
                 self._kick_chip(chip, now)
         if not self._records_done:
-            self.queue.push(now + self.config.layout.interval_cycles,
-                            _EV_INTERVAL, None)
+            self._next_interval_time = now + self.config.layout.interval_cycles
+            self.queue.push(self._next_interval_time, _EV_INTERVAL, None)
+        else:
+            self._next_interval_time = math.inf
 
     # ------------------------------------------------------------------
 
@@ -816,6 +866,10 @@ class PreciseEngine:
         registry.counter("sim.proc_accesses").inc(self.proc_accesses)
         registry.counter("sim.wakes").inc(
             sum(c.wake_count for c in self.chips))
+        if self._kernel is not None:
+            registry.counter("kernel.batches").inc(self._kernel.batches)
+            registry.counter("kernel.batched_requests").inc(
+                self._kernel.batched_requests)
         registry.gauge("dma.service_bound").set((1 + mu) * service_cycles)
         slack = getattr(self.controller, "slack", None)
         if slack is not None:

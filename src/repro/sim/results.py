@@ -15,7 +15,9 @@ class SimulationResult:
     Attributes:
         trace_name: name of the input trace.
         technique: ``"nopm" | "baseline" | "dma-ta" | "pl" | "dma-ta-pl"``.
-        engine: ``"fluid"`` or ``"precise"``.
+        engine: ``"fluid"`` or ``"precise"`` (``precise-scalar`` runs
+            report ``"precise"`` — the model is identical; only the
+            stepping strategy differs).
         duration_cycles: simulated horizon (trace duration or last
             completion, whichever is later).
         energy: aggregate energy breakdown over all chips.

@@ -9,7 +9,10 @@ from repro.sim.results import SimulationResult
 from repro.traces.trace import Trace
 
 TECHNIQUES = ("nopm", "baseline", "dma-ta", "pl", "dma-ta-pl")
-ENGINES = ("fluid", "precise")
+#: ``precise-scalar`` is the precise engine with the array-timeline
+#: kernel disabled — the pure event-stepping oracle the vectorized
+#: engine is gated against (see docs/ENGINES.md).
+ENGINES = ("fluid", "precise", "precise-scalar")
 
 
 def validate_simulation_args(
@@ -57,7 +60,10 @@ def simulate(
             by default.
         technique: ``nopm`` (no power management), ``baseline`` (dynamic
             low-level policy only), ``dma-ta``, ``pl``, or ``dma-ta-pl``.
-        engine: ``fluid`` (fast, default) or ``precise`` (per-request).
+        engine: ``fluid`` (fast, default), ``precise`` (per-request,
+            with the array-timeline kernel), or ``precise-scalar`` (the
+            pure event-stepping oracle; bit-identical results to
+            ``precise``, one order of magnitude slower).
         mu: DMA-TA per-request degradation parameter; overrides the
             configured value.
         cp_limit: client-perceived response-time degradation limit; when
@@ -103,7 +109,8 @@ def simulate(
         from repro.sim.precise import PreciseEngine
 
         engine_run = PreciseEngine(trace, config, technique=technique,
-                                   seed=seed, tracer=tracer).run
+                                   seed=seed, tracer=tracer,
+                                   vectorize=engine != "precise-scalar").run
 
     from repro.obs.perf import profiling_enabled, run_profiled
 

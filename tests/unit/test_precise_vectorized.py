@@ -1,0 +1,112 @@
+"""Bit-exactness of the array-timeline kernel against the scalar oracle.
+
+The vectorized precise engine (``engine="precise"``) must be
+indistinguishable from the pure event-stepping oracle
+(``engine="precise-scalar"``) — not within tolerance, but bit-for-bit:
+the kernel only replays the scalar engine's arithmetic in batched form
+(see ``docs/ENGINES.md``). These tests pin that contract across the
+paper's techniques on a small synthetic trace, plus the kernel's
+fallback behaviour at the edges.
+"""
+
+import math
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.obs.tracer import RingTracer
+from repro.sim.precise import PreciseEngine
+from repro.sim.run import simulate
+from repro.traces.synthetic import synthetic_storage_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return synthetic_storage_trace(duration_ms=0.5, transfers_per_ms=120,
+                                   seed=23)
+
+
+def run_pair(trace, technique, tracer=False, mu=None):
+    cfg = SimulationConfig()
+    if mu is not None:
+        cfg = cfg.with_mu(mu)
+    tr_s = RingTracer(capacity=1_000_000) if tracer else None
+    tr_v = RingTracer(capacity=1_000_000) if tracer else None
+    scalar = PreciseEngine(trace, cfg, technique=technique,
+                           vectorize=False, tracer=tr_s).run()
+    vector = PreciseEngine(trace, cfg, technique=technique,
+                           vectorize=True, tracer=tr_v).run()
+    return scalar, vector, tr_s, tr_v
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("technique",
+                             ["nopm", "baseline", "dma-ta", "pl",
+                              "dma-ta-pl"])
+    def test_identical_results(self, trace, technique):
+        scalar, vector, _, _ = run_pair(trace, technique)
+        # EnergyBreakdown and TimeBreakdown: exact float equality per
+        # bucket, not approx — the kernel replays the scalar arithmetic.
+        assert vector.energy.as_dict() == scalar.energy.as_dict()
+        assert vector.time.as_dict() == scalar.time.as_dict()
+        assert vector.chip_energy == scalar.chip_energy
+        # Power-state transition counts, globally and per edge.
+        assert vector.metrics.transitions == scalar.metrics.transitions
+        assert vector.wakes == scalar.wakes
+        # Timing, degradation, and client-visible outputs.
+        assert vector.duration_cycles == scalar.duration_cycles
+        assert vector.extra_service_cycles == scalar.extra_service_cycles
+        assert vector.head_delay_cycles == scalar.head_delay_cycles
+        assert vector.client_responses == scalar.client_responses
+        assert vector.migrations == scalar.migrations
+        assert (vector.metrics.histograms["dma.service_per_request"]
+                == scalar.metrics.histograms["dma.service_per_request"])
+
+    def test_kernel_actually_batched(self, trace):
+        _, vector, _, _ = run_pair(trace, "baseline")
+        batched = vector.metrics.counters["kernel.batched_requests"]
+        assert batched > 0.9 * vector.requests
+
+    def test_traced_runs_match(self, trace):
+        """Tracer mode (the auditor's path) emits the same spans: same
+        count, and per-bucket joules totals within float-sum noise."""
+        scalar, vector, tr_s, tr_v = run_pair(trace, "dma-ta",
+                                              tracer=True, mu=2.0)
+        assert vector.energy.as_dict() == scalar.energy.as_dict()
+        assert len(tr_v.events) == len(tr_s.events)
+
+        def bucket_joules(tr):
+            sums = {}
+            for event in tr.events:
+                args = getattr(event, "args", None)
+                if isinstance(args, dict) and "joules" in args:
+                    bucket = args.get("bucket")
+                    sums[bucket] = sums.get(bucket, 0.0) + args["joules"]
+            return sums
+
+        left, right = bucket_joules(tr_s), bucket_joules(tr_v)
+        assert set(left) == set(right)
+        for bucket, joules in left.items():
+            assert right[bucket] == pytest.approx(joules, rel=1e-12)
+
+
+class TestEngineSelection:
+    def test_precise_scalar_engine_name(self, trace):
+        vector = simulate(trace, technique="baseline", engine="precise")
+        scalar = simulate(trace, technique="baseline",
+                          engine="precise-scalar")
+        assert vector.energy.as_dict() == scalar.energy.as_dict()
+        # The oracle disables the kernel entirely.
+        assert "kernel.batches" not in scalar.metrics.counters
+        assert vector.metrics.counters["kernel.batches"] > 0
+
+    def test_kernel_disabled_for_unbatchable_geometry(self, trace):
+        """A policy whose first descent threshold fires inside the
+        steady idle gap must force the kernel off (the scalar engine
+        would start a descent mid-stream)."""
+        engine = PreciseEngine(trace, SimulationConfig(),
+                               technique="baseline")
+        assert engine._kernel is not None and engine._kernel.enabled
+        gap = engine._bus_gap - engine._serve_cycles
+        schedule = engine.chips[0].schedule
+        assert schedule and schedule[0][0] >= gap  # default is batchable
