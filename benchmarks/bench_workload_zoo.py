@@ -1,0 +1,133 @@
+"""Workload zoo: characterization + energy/degradation per family.
+
+Four records, one per ``BENCH_workload_<name>.json`` trajectory:
+
+* ``workload_kv_store`` — Zipfian point reads, small transfers;
+* ``workload_ml_inference`` — sequential tensor streams with deadlines;
+* ``workload_video_stream`` — paced sequential CDN readers;
+* ``workload_drift`` — the two drift scenarios (diurnal popularity
+  shift, flash crowd) that force PL re-migration mid-run.
+
+Each record carries the family's Table-2-style characterization next to
+its baseline/DMA-TA/DMA-TA-PL energy and client-degradation numbers, so
+fidelity *and* policy behaviour stay regression-gated as the zoo grows
+(see docs/WORKLOADS.md).
+"""
+
+from repro.analysis.tables import format_table
+from repro.obs import RingTracer
+from repro.sim.run import simulate
+from repro.traces.stats import characterize
+from repro.traces.zoo import kv_store_trace
+
+from benchmarks.common import (
+    Stopwatch,
+    get_trace,
+    metric,
+    percent,
+    run_cached,
+    save_record,
+    save_report,
+)
+
+CP_LIMIT = 0.10
+
+
+def _characterization_metrics(trace, prefix):
+    stats = characterize(trace)
+    return stats, [
+        metric(f"{prefix}/transfers_per_ms", stats.transfers_per_ms,
+               unit="1/ms"),
+        metric(f"{prefix}/proc_accesses_per_transfer",
+               stats.proc_accesses_per_transfer, unit="count"),
+        metric(f"{prefix}/mean_transfer_bytes", stats.mean_transfer_bytes,
+               unit="B"),
+        metric(f"{prefix}/pages_referenced", stats.pages_referenced,
+               unit="pages"),
+        metric(f"{prefix}/top20_access_fraction",
+               stats.top20_access_fraction, unit="fraction"),
+    ]
+
+
+def _policy_metrics(trace, prefix):
+    baseline = run_cached(trace, "baseline",
+                          label=f"{prefix}:baseline")
+    ta = run_cached(trace, "dma-ta", cp_limit=CP_LIMIT,
+                    label=f"{prefix}:dma-ta")
+    tapl = run_cached(trace, "dma-ta-pl", cp_limit=CP_LIMIT,
+                      label=f"{prefix}:dma-ta-pl")
+    metrics = []
+    rows = []
+    for result, label in ((ta, "dma-ta"), (tapl, "dma-ta-pl")):
+        savings = result.energy_savings_vs(baseline)
+        degradation = result.client_degradation_vs(baseline)
+        metrics.extend([
+            metric(f"{prefix}/{label}/savings", savings, unit="fraction"),
+            metric(f"{prefix}/{label}/client_degradation", degradation,
+                   unit="fraction"),
+            metric(f"{prefix}/{label}/migrations", result.migrations,
+                   unit="pages"),
+        ])
+        rows.append([label, percent(savings), percent(degradation),
+                     result.migrations])
+    return metrics, rows
+
+
+def _workload_bench(benchmark, family, figure, extra_families=(),
+                    extra_metrics=()):
+    watch = Stopwatch()
+    with watch.phase("generate"):
+        benchmark.pedantic(
+            lambda: kv_store_trace(duration_ms=2.0, seed=77),
+            rounds=1, iterations=1)
+
+    metrics = []
+    report_rows = []
+    for name in (family, *extra_families):
+        trace = get_trace(name)
+        with watch.phase(f"characterize:{name}"):
+            stats, char_metrics = _characterization_metrics(trace, name)
+        metrics.extend(char_metrics)
+        policy_metrics, rows = _policy_metrics(trace, name)
+        metrics.extend(policy_metrics)
+        for row in rows:
+            report_rows.append([name, f"{stats.transfers_per_ms:.1f}",
+                                f"{stats.top20_access_fraction:.0%}",
+                                *row])
+        assert stats.transfers > 0
+    metrics.extend(extra_metrics)
+    text = format_table(
+        ["family", "tr/ms", "top-20%", "technique", "savings",
+         "degradation", "migrations"],
+        report_rows,
+        title=f"workload zoo: {figure} at CP-Limit {CP_LIMIT:.0%}")
+    save_report(figure, text)
+    save_record(figure, figure, metrics, phases=watch.phases)
+
+
+def test_workload_kv_store(benchmark):
+    _workload_bench(benchmark, "kv-store", "workload_kv_store")
+
+
+def test_workload_ml_inference(benchmark):
+    _workload_bench(benchmark, "ml-inference", "workload_ml_inference")
+
+
+def test_workload_video_stream(benchmark):
+    _workload_bench(benchmark, "video-stream", "workload_video_stream")
+
+
+def test_workload_drift(benchmark):
+    # Count the PL migration waves directly: distinct interval
+    # boundaries at which the planner actually moved pages. Anything
+    # beyond the first wave is a re-migration chasing the drift.
+    tracer = RingTracer()
+    trace = get_trace("drift-diurnal")
+    simulate(trace, technique="dma-ta-pl", cp_limit=CP_LIMIT,
+             tracer=tracer)
+    waves = {e.ts for e in tracer.events if e.name == "pl.migration"}
+    _workload_bench(
+        benchmark, "drift-diurnal", "workload_drift",
+        extra_families=("flash-crowd",),
+        extra_metrics=[metric("drift-diurnal/migration_waves", len(waves),
+                              unit="intervals")])

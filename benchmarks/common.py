@@ -49,6 +49,7 @@ from repro.sim.results import SimulationResult
 from repro.traces.oltp import oltp_database_trace, oltp_storage_trace
 from repro.traces.synthetic import synthetic_database_trace, synthetic_storage_trace
 from repro.traces.trace import Trace
+from repro.traces.zoo import ZOO
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -133,7 +134,12 @@ _SESSION = _SessionStats()
 
 
 def get_trace(name: str, **overrides) -> Trace:
-    """Build (and cache) one of the four evaluation traces by name."""
+    """Build (and cache) an evaluation trace by name.
+
+    Accepts the paper's four traces (``OLTP-St`` ... ``Synthetic-Db``)
+    plus every workload-zoo family name (``kv-store``, ``drift-diurnal``,
+    ...; see docs/WORKLOADS.md).
+    """
     key = f"{name}:{sorted(overrides.items())}"
     if key not in _TRACE_CACHE:
         duration = overrides.pop("duration_ms", BENCH_MS)
@@ -147,6 +153,9 @@ def get_trace(name: str, **overrides) -> Trace:
             "Synthetic-Db": lambda: synthetic_database_trace(
                 duration_ms=duration, **overrides),
         }
+        for family, generator in ZOO.items():
+            makers[family] = (
+                lambda g=generator: g(duration_ms=duration, **overrides))
         _TRACE_CACHE[key] = makers[name]()
     return _TRACE_CACHE[key]
 

@@ -44,14 +44,19 @@ from repro.errors import ReproError
 from repro.sim.run import ENGINES, TECHNIQUES, simulate
 from repro.traces.io import read_trace, write_trace
 from repro.traces.oltp import oltp_database_trace, oltp_storage_trace
+from repro.traces.replay import DIALECTS, PAGE_LAYOUTS, ReplayConfig, replay_trace
 from repro.traces.stats import characterize, popularity_cdf
 from repro.traces.synthetic import synthetic_database_trace, synthetic_storage_trace
+from repro.traces.zoo import ZOO
 
+#: Every workload name ``repro generate`` accepts: the paper's four
+#: evaluation traces plus the workload-zoo families (docs/WORKLOADS.md).
 GENERATORS: dict[str, Callable] = {
     "oltp-st": oltp_storage_trace,
     "oltp-db": oltp_database_trace,
     "synthetic-st": synthetic_storage_trace,
     "synthetic-db": synthetic_database_trace,
+    **ZOO,
 }
 
 
@@ -78,6 +83,40 @@ def build_parser() -> argparse.ArgumentParser:
                           help="output trace file (JSONL)")
     generate.add_argument("--duration-ms", type=float, default=25.0)
     generate.add_argument("--seed", type=int, default=1)
+
+    replay = commands.add_parser(
+        "replay", help="replay a public block trace (MSR-Cambridge/"
+                       "CloudPhysics CSV) through the simulator")
+    replay.add_argument("csv", help="block-trace CSV file")
+    replay.add_argument("--dialect", choices=DIALECTS, default="msr",
+                        help="CSV dialect (default: msr)")
+    replay.add_argument("--technique", choices=TECHNIQUES, default=None,
+                        help="also simulate the replayed trace under "
+                             "this technique, with the strict auditor "
+                             "watching the run")
+    replay.add_argument("--engine", choices=ENGINES, default="fluid")
+    replay.add_argument("--cp-limit", type=float, default=None)
+    replay.add_argument("--mu", type=float, default=None)
+    replay.add_argument("--seed", type=int, default=0,
+                        help="page-layout seed for the simulation")
+    replay.add_argument("--page-layout", choices=PAGE_LAYOUTS,
+                        default="modulo",
+                        help="offset->page mapping: 'modulo' keeps disk "
+                             "runs sequential, 'hash' scatters them")
+    replay.add_argument("--num-pages", type=int, default=None,
+                        help="logical page space to fold offsets into "
+                             "(default: the simulated memory's size)")
+    replay.add_argument("--window", default=None, metavar="START:DUR",
+                        help="replay only trace seconds "
+                             "[START, START+DUR)")
+    replay.add_argument("--time-compression", type=float, default=1.0,
+                        help="divide trace time by this factor (1000 = "
+                             "1 traced second per simulated ms)")
+    replay.add_argument("--proc-per-io", type=float, default=0.0,
+                        help="synthesised processor accesses per block "
+                             "I/O (the I/O-to-compute ratio)")
+    replay.add_argument("-o", "--output", default=None,
+                        help="also write the converted trace (JSONL)")
 
     char = commands.add_parser(
         "characterize", help="print a trace's Table 2-style summary")
@@ -214,6 +253,74 @@ def _cmd_generate(args) -> int:
           f"{stats.duration_ms:.1f} ms "
           f"({stats.transfers_per_ms:.1f}/ms, "
           f"{stats.proc_accesses_per_ms:.0f} proc accesses/ms)")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from repro.obs.audit import Auditor
+
+    window_start, window_s = 0.0, None
+    if args.window:
+        try:
+            start_text, _, dur_text = args.window.partition(":")
+            window_start = float(start_text)
+            window_s = float(dur_text) if dur_text else None
+        except ValueError as exc:
+            raise ReproError(
+                f"bad --window {args.window!r} (want START:DUR "
+                f"in seconds): {exc}") from exc
+
+    sim_config = SimulationConfig()
+    num_pages = args.num_pages or sim_config.memory.total_pages
+    if num_pages > sim_config.memory.total_pages:
+        raise ReproError(
+            f"--num-pages {num_pages} exceeds the simulated memory "
+            f"({sim_config.memory.total_pages} pages)")
+    replay_config = ReplayConfig(
+        page_bytes=sim_config.memory.page_bytes,
+        num_pages=num_pages,
+        page_layout=args.page_layout,
+        num_buses=sim_config.buses.count,
+        window_start_s=window_start,
+        window_s=window_s,
+        time_compression=args.time_compression,
+        proc_accesses_per_io=args.proc_per_io,
+    )
+    trace = replay_trace(args.csv, config=replay_config,
+                         dialect=args.dialect)
+    stats = characterize(trace)
+    meta = trace.metadata
+    print(f"{trace.name}: {meta['block_ios']} block I/Os "
+          f"({meta['block_reads']} reads / {meta['block_writes']} writes) "
+          f"over {meta['trace_span_s']:.3f} s of trace time "
+          f"-> {stats.transfers} transfers / {stats.duration_ms:.2f} ms "
+          f"simulated ({stats.transfers_per_ms:.1f}/ms, "
+          f"{len(meta['namespaces'])} disk namespace(s))")
+    if args.output:
+        write_trace(trace, args.output)
+        print(f"wrote {args.output}")
+    if args.technique is None:
+        return 0
+
+    auditor = Auditor(strict=True)
+    from repro.errors import AuditError
+
+    try:
+        result = simulate(trace, technique=args.technique,
+                          engine=args.engine, cp_limit=args.cp_limit,
+                          mu=args.mu, seed=args.seed, tracer=auditor)
+        report = auditor.finalize(result)
+    except AuditError as exc:
+        print(f"audit: FAIL (strict) — {exc}", file=sys.stderr)
+        return 1
+    print()
+    print(result.summary())
+    print()
+    print(report.render())
+    if not report.ok:
+        print(f"audit: {len(report.violations)} violation kind(s)",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -501,6 +608,7 @@ def _cmd_bench(args) -> int:
 
 _COMMANDS = {
     "generate": _cmd_generate,
+    "replay": _cmd_replay,
     "characterize": _cmd_characterize,
     "simulate": _cmd_simulate,
     "compare": _cmd_compare,

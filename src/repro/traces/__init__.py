@@ -16,6 +16,23 @@ from repro.traces.io import read_trace, write_trace
 from repro.traces.synthetic import synthetic_storage_trace, synthetic_database_trace
 from repro.traces.oltp import oltp_storage_trace, oltp_database_trace
 from repro.traces.stats import TraceStats, characterize, popularity_cdf
+from repro.traces.replay import (
+    BlockIO,
+    DIALECTS,
+    ReplayConfig,
+    read_block_csv,
+    replay_trace,
+    sample_window,
+)
+from repro.traces.zoo import (
+    ZOO,
+    drift_diurnal_trace,
+    flash_crowd_trace,
+    kv_store_trace,
+    ml_inference_trace,
+    video_stream_trace,
+    zoo_trace,
+)
 from repro.traces.transform import (
     filter_source,
     merge_traces,
@@ -26,6 +43,19 @@ from repro.traces.transform import (
 )
 
 __all__ = [
+    "BlockIO",
+    "DIALECTS",
+    "ReplayConfig",
+    "ZOO",
+    "read_block_csv",
+    "replay_trace",
+    "sample_window",
+    "drift_diurnal_trace",
+    "flash_crowd_trace",
+    "kv_store_trace",
+    "ml_inference_trace",
+    "video_stream_trace",
+    "zoo_trace",
     "filter_source",
     "merge_traces",
     "renumber_clients",

@@ -64,6 +64,36 @@ def _obj_to_record(obj: dict) -> DMATransfer | ProcessorBurst:
     raise TraceError(f"unknown record kind {kind!r}")
 
 
+def _build_record(obj: dict, line_number: int,
+                  clients: dict[int, ClientRequest],
+                  records: list[DMATransfer | ProcessorBurst]) -> None:
+    """Turn one parsed JSON object into a client or record entry.
+
+    Truncated or hand-edited files reach this with missing keys or
+    out-of-domain values; every such failure becomes a
+    :class:`~repro.errors.TraceError` naming the line, never a raw
+    ``KeyError``/``TypeError`` traceback.
+    """
+    try:
+        if obj.get("kind") == "client":
+            client = ClientRequest(
+                request_id=obj["id"],
+                arrival=obj["arrival"],
+                base_cycles=obj.get("base", 0.0),
+            )
+            clients[client.request_id] = client
+        else:
+            records.append(_obj_to_record(obj))
+    except TraceError as exc:
+        raise TraceError(
+            f"invalid record on line {line_number}: {exc}") from exc
+    except (KeyError, TypeError, ValueError) as exc:
+        missing = (f"missing field {exc}" if isinstance(exc, KeyError)
+                   else str(exc))
+        raise TraceError(
+            f"invalid record on line {line_number}: {missing}") from exc
+
+
 def write_trace(trace: Trace, path: str | Path) -> None:
     """Write ``trace`` to ``path`` in the JSONL trace format."""
     path = Path(path)
@@ -122,15 +152,10 @@ def _read_stream(handle: TextIO) -> Trace:
             obj = json.loads(line)
         except json.JSONDecodeError as exc:
             raise TraceError(f"malformed record on line {line_number}: {exc}") from exc
-        if obj.get("kind") == "client":
-            client = ClientRequest(
-                request_id=obj["id"],
-                arrival=obj["arrival"],
-                base_cycles=obj.get("base", 0.0),
-            )
-            clients[client.request_id] = client
-        else:
-            records.append(_obj_to_record(obj))
+        if not isinstance(obj, dict):
+            raise TraceError(f"invalid record on line {line_number}: "
+                             f"expected an object, got {type(obj).__name__}")
+        _build_record(obj, line_number, clients, records)
 
     return Trace(
         name=header.get("name", "trace"),

@@ -1,0 +1,87 @@
+"""Golden-fixture tests: committed CSVs → checked-in expected values.
+
+The fixtures under ``tests/fixtures/`` are ~100-row block traces, one
+per supported dialect; the ``expected_<dialect>.json`` files next to
+them pin every externally-visible property of the parse + replay
+pipeline, ending with the trace fingerprint. Any change to parsing,
+page layout, client synthesis, or record canonicalisation shows up here
+as an exact-value diff — update the goldens deliberately, never by
+accident.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.traces.replay import ReplayConfig, read_block_csv, replay_trace
+from repro.traces.stats import characterize
+
+FIXTURES = Path(__file__).resolve().parents[1] / "fixtures"
+
+CASES = [
+    ("msr", "msr_sample.csv", "expected_msr.json"),
+    ("cloudphysics", "cloudphysics_sample.csv",
+     "expected_cloudphysics.json"),
+]
+
+
+def load_case(csv_name, expected_name):
+    expected = json.loads((FIXTURES / expected_name).read_text())
+    rows = read_block_csv(FIXTURES / csv_name, dialect=expected["dialect"])
+    return rows, expected
+
+
+def replay_fixture(csv_name, dialect):
+    # Replay from the path (not the parsed rows) so metadata carries the
+    # dialect and the default name matches the golden fingerprint.
+    return replay_trace(FIXTURES / csv_name, ReplayConfig(),
+                        dialect=dialect)
+
+
+@pytest.mark.parametrize("dialect, csv_name, expected_name", CASES)
+def test_parse_matches_golden(dialect, csv_name, expected_name):
+    rows, expected = load_case(csv_name, expected_name)
+    assert expected["dialect"] == dialect
+    assert len(rows) == expected["rows"]
+    assert sum(not r.is_write for r in rows) == expected["reads"]
+    assert sum(r.is_write for r in rows) == expected["writes"]
+    assert sum(r.size_bytes for r in rows) == expected["block_bytes"]
+    assert sorted({r.namespace for r in rows}) == expected["namespaces"]
+
+
+@pytest.mark.parametrize("dialect, csv_name, expected_name", CASES)
+def test_replay_matches_golden(dialect, csv_name, expected_name):
+    _, expected = load_case(csv_name, expected_name)
+    trace = replay_fixture(csv_name, dialect)
+
+    assert len(trace.records) == expected["records"]
+    assert len(trace.transfers) == expected["transfers"]
+    assert len(trace.clients) == expected["clients"]
+
+    stats = characterize(trace)
+    assert stats.pages_referenced == expected["pages_referenced"]
+    approx = {
+        "duration_ms": trace.duration_cycles / 1.6e6,
+        "transfers_per_ms": stats.transfers_per_ms,
+        "mean_transfer_bytes": stats.mean_transfer_bytes,
+        "top20_access_fraction": stats.top20_access_fraction,
+    }
+    for key, value in approx.items():
+        assert value == pytest.approx(expected[key], abs=5e-7), key
+
+    # The strongest check last: the canonical byte-level digest.
+    assert trace.fingerprint() == expected["fingerprint"]
+
+
+@pytest.mark.parametrize("dialect, csv_name, expected_name", CASES)
+def test_fixture_metadata_agrees_with_golden(dialect, csv_name,
+                                             expected_name):
+    _, expected = load_case(csv_name, expected_name)
+    meta = replay_fixture(csv_name, dialect).metadata
+    assert meta["dialect"] == dialect
+    assert meta["block_ios"] == expected["rows"]
+    assert meta["block_reads"] == expected["reads"]
+    assert meta["block_writes"] == expected["writes"]
+    assert meta["block_bytes"] == expected["block_bytes"]
+    assert meta["namespaces"] == expected["namespaces"]

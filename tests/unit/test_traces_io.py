@@ -82,3 +82,55 @@ class TestErrors:
             ' "metadata": {}}\n')
         with pytest.raises(TraceError):
             read_trace(path)
+
+
+HEADER = ('{"kind": "header", "version": 1, "name": "x", "duration": 0,'
+          ' "metadata": {}}\n')
+
+
+class TestMalformedLinesNameTheLine:
+    """Truncated or hand-edited JSONL raises TraceError naming the
+    offending line — never a raw KeyError/TypeError traceback."""
+
+    def write(self, tmp_path, *lines):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(HEADER + "".join(line + "\n" for line in lines))
+        return path
+
+    @pytest.mark.parametrize("line, fragment", [
+        ('{"kind": "dma", "page": 0, "size": 8192}',
+         "missing field 'time'"),              # truncated dma record
+        ('{"kind": "dma", "time": 0, "size": 8192}',
+         "missing field 'page'"),
+        ('{"kind": "client", "arrival": 0.0}',
+         "missing field 'id'"),                # truncated client row
+        ('{"kind": "proc", "page": 1, "count": 4}',
+         "missing field 'time'"),
+        ('{"kind": "dma", "time": 0, "page": -4, "size": 8192}',
+         "page"),                              # domain error, not KeyError
+        ('[1, 2, 3]', "expected an object, got list"),
+        ('"dma"', "expected an object, got str"),
+    ])
+    def test_line_number_in_message(self, tmp_path, line, fragment):
+        path = self.write(tmp_path,
+                          '{"kind": "dma", "time": 0, "page": 0,'
+                          ' "size": 512}', line)
+        with pytest.raises(TraceError) as excinfo:
+            read_trace(path)
+        message = str(excinfo.value)
+        assert "line 3" in message
+        assert fragment in message
+
+    def test_blank_lines_do_not_shift_numbering(self, tmp_path):
+        path = self.write(tmp_path, "", "", '{"kind": "mystery"}')
+        with pytest.raises(TraceError, match="line 4"):
+            read_trace(path)
+
+    def test_truncated_mid_value_names_last_line(self, tmp_path, trace):
+        path = tmp_path / "trace.jsonl"
+        write_trace(trace, path)
+        full = path.read_text()
+        path.write_text(full[:full.rindex(":") + 1])
+        with pytest.raises(TraceError) as excinfo:
+            read_trace(path)
+        assert f"line {full.count(chr(10))}" in str(excinfo.value)
