@@ -43,6 +43,18 @@ def test_engine_agreement_and_speed(benchmark):
     simulate(trace, technique="baseline", engine="fluid")
     fluid_s = time.perf_counter() - start
 
+    # Live telemetry: the enabled path must keep the physics bit-exact
+    # and its wall-clock cost is published as telemetry/overhead_frac
+    # (per-epoch sampling, detectors on, no HTTP exporters).
+    from repro.obs.telemetry import TelemetrySampler
+
+    with watch.phase("fluid-telemetry"):
+        start = time.perf_counter()
+        sampler = TelemetrySampler()
+        telemetered = simulate(trace, technique="baseline",
+                               engine="fluid", telemetry=sampler)
+        telemetry_s = time.perf_counter() - start
+
     rows = [
         ["fluid", f"{fluid_s * 1e3:.1f} ms",
          f"{fluid.energy_joules * 1e3:.4f}",
@@ -83,9 +95,16 @@ def test_engine_agreement_and_speed(benchmark):
         metric("oracle/speedup", scalar_s / max(precise_s, 1e-9),
                unit="x"),
         metric("precise_scalar/wall_s", scalar_s, unit="s"),
+        metric("telemetry/overhead_frac",
+               max(0.0, telemetry_s / max(fluid_s, 1e-9) - 1.0),
+               unit="fraction"),
+        metric("telemetry/samples", float(sampler.samples_captured),
+               unit="count"),
     ]
     save_record("engines", "engines", metrics, phases=watch.phases)
 
+    assert telemetered.energy.as_dict() == fluid.energy.as_dict()
+    assert sampler.samples_captured > 0
     assert scalar.energy.as_dict() == precise.energy.as_dict()
     assert abs(1 - fluid.energy_joules / precise.energy_joules) < 0.03
     assert precise_s > fluid_s

@@ -16,6 +16,7 @@ Examples::
     repro trace st.jsonl --technique dma-ta-pl --out trace.json
     repro audit st.jsonl --technique dma-ta --mu 2.0 --strict
     repro stats st.jsonl --technique dma-ta-pl
+    repro watch st.jsonl --technique dma-ta-pl --cp-limit 0.1
     repro bench run --quick
     repro bench compare --fail-on-regression
     repro bench report -o bench_report.html
@@ -23,6 +24,9 @@ Examples::
 ``--log-level`` (or the ``REPRO_LOG_LEVEL`` environment variable) turns
 on stdlib logging for every ``repro.*`` module — executor pool
 fallbacks, cache corruption warnings, trace-generator diagnostics.
+``--log-format json`` (or ``REPRO_LOG_FORMAT=json``) switches those
+loggers to one structured JSON object per line for machine ingestion
+(and implies ``--log-level info`` when no level was given).
 ``--profile`` on the run verbs (or ``REPRO_PROFILE=1``) wraps engine
 runs in cProfile; see :mod:`repro.obs.perf`.
 """
@@ -30,6 +34,7 @@ runs in cProfile; see :mod:`repro.obs.perf`.
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import os
 import sys
@@ -74,6 +79,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=os.environ.get("REPRO_LOG_LEVEL"),
         help="enable stdlib logging at this level for all repro modules "
              "(default: $REPRO_LOG_LEVEL, or off)")
+    parser.add_argument(
+        "--log-format", type=str.lower, choices=("text", "json"),
+        default=os.environ.get("REPRO_LOG_FORMAT", "text"),
+        help="module-logger output: human-readable text, or one JSON "
+             "object per line for machine ingestion (default: "
+             "$REPRO_LOG_FORMAT, or text; json implies --log-level info "
+             "when no level is given)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     generate = commands.add_parser(
@@ -220,6 +232,53 @@ def build_parser() -> argparse.ArgumentParser:
                             "(repeatable); a missing histogram warns "
                             "instead of failing — e.g. ta.batch_size "
                             "is only recorded when DMA-TA runs")
+
+    watch = commands.add_parser(
+        "watch", help="run one simulation while serving a live telemetry "
+                      "dashboard (HTML + Prometheus /metrics + SSE)")
+    watch.add_argument("trace")
+    watch.add_argument("--technique", choices=TECHNIQUES,
+                       default="dma-ta-pl")
+    watch.add_argument("--engine", choices=ENGINES, default="fluid")
+    watch.add_argument("--cp-limit", type=float, default=None)
+    watch.add_argument("--mu", type=float, default=None)
+    watch.add_argument("--seed", type=int, default=0)
+    watch.add_argument("--sample-cycles", type=float, default=None,
+                       help="sampling period in memory cycles (default: "
+                            "the run's DMA-TA epoch length)")
+    watch.add_argument("--capacity", type=int, default=2048,
+                       help="telemetry ring rows kept in memory; on "
+                            "overflow every other row is dropped and "
+                            "the stride doubles (O(capacity) memory)")
+    watch.add_argument("--serve-port", type=int, default=8765,
+                       help="dashboard HTTP port (0 = ephemeral; see "
+                            "--port-file)")
+    watch.add_argument("--host", default="127.0.0.1",
+                       help="dashboard bind address")
+    watch.add_argument("--no-browser", action="store_true",
+                       help="do not open the dashboard in a browser")
+    watch.add_argument("--port-file", default=None,
+                       help="write the bound port to this file once "
+                            "listening (for scripts pairing with "
+                            "--serve-port 0)")
+    watch.add_argument("--linger-s", type=float, default=10.0,
+                       help="keep the dashboard up this many seconds "
+                            "after the run ends (0 = exit immediately)")
+    watch.add_argument("--refresh-ms", type=int, default=1000,
+                       help="dashboard auto-refresh period")
+    watch.add_argument("--telemetry-out", default=None, metavar="JSONL",
+                       help="append every sample and anomaly to this "
+                            "JSONL stream")
+    watch.add_argument("--inject-spike", type=float, default=0.0,
+                       metavar="CYCLES",
+                       help="fault injection: add this many phantom "
+                            "degradation cycles to the observed series "
+                            "mid-run — the CUSUM detector must flag it; "
+                            "the simulation itself is untouched")
+    watch.add_argument("--inject-spike-at", type=float, default=0.5,
+                       metavar="FRAC",
+                       help="where in the trace the injected spike "
+                            "lands (fraction of the duration)")
 
     calibrate = commands.add_parser(
         "calibrate", help="show the mu a CP-Limit translates to")
@@ -456,7 +515,11 @@ def _cmd_trace(args) -> int:
         events.extend(profile_events(result.profile))
     if not events:
         print(result.summary())
-        print("warning: run produced no trace events; skipping export",
+        print("warning: run produced no trace events; skipping export "
+              "(events flow only while a tracer is attached — repro "
+              "trace/audit attach one automatically; from Python pass "
+              "simulate(..., tracer=RingTracer()); for live time series "
+              "use repro watch --telemetry-out)",
               file=sys.stderr)
         return 0
     path = write_chrome_trace(events, args.out, label=trace.name)
@@ -538,19 +601,41 @@ def _cmd_audit(args) -> int:
     return 0
 
 
+def _audit_health_line(report) -> str:
+    """One-line auditor verdict appended to ``repro stats`` output."""
+    if report.ok:
+        return "\naudit: ok (0 violations)"
+    counts: dict[str, int] = {}
+    for violation in report.violations:
+        counts[violation.kind] = counts.get(violation.kind, 0) + 1
+    detail = ", ".join(f"{kind}: {n}" for kind, n in sorted(counts.items()))
+    total = sum(counts.values())
+    return (f"\naudit: {total} violation(s) — {detail} "
+            "(run repro audit for the full report)")
+
+
 def _cmd_stats(args) -> int:
     from repro.obs import render_metrics
+    from repro.obs.audit import Auditor
 
     trace = read_trace(args.trace)
+    auditor = Auditor(strict=False)
     result = simulate(trace, technique=args.technique, engine=args.engine,
-                      cp_limit=args.cp_limit, mu=args.mu, seed=args.seed)
+                      cp_limit=args.cp_limit, mu=args.mu, seed=args.seed,
+                      tracer=auditor)
+    report = auditor.finalize(result)
     title = f"{trace.name} / {args.technique} ({args.engine})"
     if result.metrics is None:
-        print("warning: this run recorded no metrics report",
+        print("warning: this run recorded no metrics report (metrics "
+              "come from simulate()'s registry snapshot — re-run via "
+              "repro stats/simulate, or use repro trace --out / repro "
+              "watch --telemetry-out for event and telemetry streams)",
               file=sys.stderr)
         print(f"{title}\n(no metrics recorded)")
+        print(_audit_health_line(report))
         return 0
     print(render_metrics(result.metrics, title=title))
+    print(_audit_health_line(report))
     for name in args.histogram or ():
         digest = result.metrics.histograms.get(name)
         if digest is None:
@@ -563,6 +648,74 @@ def _cmd_stats(args) -> int:
         for field in ("count", "total", "min", "max", "mean",
                       "p50", "p90", "p99"):
             print(f"  {field:<6} {getattr(digest, field):g}")
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    import time
+
+    from repro.obs.serve import TelemetryServer
+    from repro.obs.telemetry import (
+        JsonlExporter,
+        TelemetryConfig,
+        TelemetrySampler,
+    )
+    from repro.sim.run import validate_simulation_args
+
+    validate_simulation_args(args.technique, args.engine,
+                             mu=args.mu, cp_limit=args.cp_limit)
+    trace = read_trace(args.trace)
+    exporters = []
+    jsonl = None
+    if args.telemetry_out:
+        jsonl = JsonlExporter(args.telemetry_out)
+        exporters.append(jsonl)
+    config = TelemetryConfig(
+        sample_cycles=args.sample_cycles,
+        capacity=args.capacity,
+        inject_spike_cycles=args.inject_spike,
+        inject_spike_at_frac=args.inject_spike_at,
+    )
+    sampler = TelemetrySampler(config, exporters=exporters)
+    server = TelemetryServer(
+        sampler, host=args.host, port=args.serve_port,
+        title=f"{trace.name} / {args.technique} ({args.engine})",
+        refresh_ms=args.refresh_ms)
+    sampler.exporters.extend(server.exporters)
+    server.start()
+    print(f"dashboard: {server.url} (Prometheus at {server.url}metrics, "
+          f"SSE at {server.url}events)")
+    if args.port_file:
+        with open(args.port_file, "w", encoding="utf-8") as handle:
+            handle.write(f"{server.port}\n")
+    if not args.no_browser:
+        import webbrowser
+
+        webbrowser.open(server.url)
+    try:
+        result = simulate(trace, technique=args.technique,
+                          engine=args.engine, cp_limit=args.cp_limit,
+                          mu=args.mu, seed=args.seed, telemetry=sampler)
+        print(result.summary())
+        snapshot = sampler.store.snapshot()
+        print(f"\ntelemetry: {snapshot.ticks} samples "
+              f"({len(snapshot)} retained, stride {snapshot.stride}), "
+              f"{len(sampler.anomalies)} anomalies")
+        for anomaly in sampler.anomalies:
+            print(f"telemetry.anomaly: {anomaly.kind} "
+                  f"@ {anomaly.ts:,.0f}: {anomaly.message}")
+        if jsonl is not None:
+            print(f"wrote {jsonl.path}: {jsonl.lines} JSONL lines")
+        if args.linger_s > 0:
+            print(f"dashboard stays up for {args.linger_s:g}s "
+                  "(Ctrl-C to stop early)")
+            try:
+                time.sleep(args.linger_s)
+            except KeyboardInterrupt:
+                pass
+    finally:
+        server.stop()
+        sampler.close()
     return 0
 
 
@@ -616,29 +769,63 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "audit": _cmd_audit,
     "stats": _cmd_stats,
+    "watch": _cmd_watch,
     "calibrate": _cmd_calibrate,
     "report": _cmd_report,
     "bench": _cmd_bench,
 }
 
 
-def _configure_logging(level_name: str | None) -> None:
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per log line (``--log-format json``).
+
+    Fields: ``ts`` (epoch seconds), ``level``, ``logger``, ``message``,
+    plus ``exc`` with the formatted traceback when one is attached.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": record.created,
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload)
+
+
+def _configure_logging(level_name: str | None,
+                       format_name: str = "text") -> None:
+    if format_name not in ("text", "json"):
+        # An invalid $REPRO_LOG_FORMAT bypasses argparse's choices=
+        # (it becomes the default); degrade rather than crash.
+        print(f"warning: unknown log format {format_name!r} ignored "
+              "(want text or json)", file=sys.stderr)
+        format_name = "text"
     if not level_name:
-        return
+        if format_name != "json":
+            return
+        level_name = "info"  # asking for JSON logs implies wanting logs
     level = getattr(logging, level_name.upper(), None)
     if not isinstance(level, int):
         print(f"warning: unknown log level {level_name!r} ignored",
               file=sys.stderr)
         return
-    logging.basicConfig(
-        level=level,
-        format="%(levelname)s %(name)s: %(message)s")
+    if format_name == "json":
+        handler = logging.StreamHandler()
+        handler.setFormatter(JsonLogFormatter())
+        logging.basicConfig(level=level, handlers=[handler])
+    else:
+        logging.basicConfig(
+            level=level,
+            format="%(levelname)s %(name)s: %(message)s")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    _configure_logging(args.log_level)
+    _configure_logging(args.log_level, args.log_format)
     try:
         return _COMMANDS[args.command](args)
     except ReproError as exc:

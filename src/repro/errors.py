@@ -48,6 +48,11 @@ class AuditError(SimulationError):
         self.violation = violation
 
 
+class TelemetryError(ReproError):
+    """The live-telemetry sampler was misused (double bind, sample
+    before bind, ...). Never raised on a correctly wired run."""
+
+
 class LayoutError(ReproError):
     """A page layout operation is invalid (unknown page, full chip, ...)."""
 

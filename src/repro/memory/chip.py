@@ -282,6 +282,55 @@ class FluidChip:
             if segment.end >= offset_end:
                 break
 
+    def observe(self, now: float) -> tuple[dict[str, float], float]:
+        """Residency-to-date buckets and instantaneous power at ``now``.
+
+        Strictly read-only: the pending ``now - _time`` span is
+        classified exactly as :meth:`advance` will classify it, but
+        nothing is accrued — splitting an accrual at an observation
+        point would change float rounding, and telemetry-enabled runs
+        must stay bit-identical in energy. Used by the live-telemetry
+        sampler only.
+        """
+        buckets = self.time.as_dict()
+        buckets.pop("total", None)
+        if now <= self._time:
+            # Inside a wake window (or exactly at the chip's clock): the
+            # whole transition was charged up front by wake(), so
+            # nothing is pending. Report the serving-side power the
+            # chip is heading for.
+            if self._busy or now < self._time:
+                return buckets, self.model.active_power
+            return buckets, self._segment_at(
+                now - self._idle_since).power_watts
+        delta = now - self._time
+        if self._busy:
+            rates = self.rates
+            idle_fraction = max(0.0, 1.0 - min(1.0, rates.busy_fraction))
+            buckets["serving_dma"] += delta * rates.dma
+            buckets["serving_proc"] += delta * rates.proc
+            buckets["migration"] += delta * rates.migration
+            idle_bucket = ("idle_dma" if self._has_dma_stream
+                           else "idle_threshold")
+            buckets[idle_bucket] += delta * idle_fraction
+            return buckets, self.model.active_power
+        offset_start = self._time - self._idle_since
+        offset_end = now - self._idle_since
+        for segment in self._profile:
+            lo = max(segment.start, offset_start)
+            hi = min(segment.end, offset_end)
+            if hi <= lo:
+                continue
+            if segment.bucket == _SEG_ACTIVE_IDLE:
+                buckets["idle_threshold"] += hi - lo
+            elif segment.bucket == _SEG_TRANSITION:
+                buckets["transition"] += hi - lo
+            else:
+                buckets["low_power"] += hi - lo
+            if segment.end >= offset_end:
+                break
+        return buckets, self._segment_at(offset_end).power_watts
+
     # ------------------------------------------------------------------
     # Busy/idle transitions
     # ------------------------------------------------------------------

@@ -24,6 +24,13 @@ The observability layer of the simulator:
   energy-conservation ledger cross-checked against
   :class:`~repro.energy.accounting.EnergyBreakdown`, and a live replay
   of the DMA-TA slack-guarantee machinery (``repro audit``).
+* **telemetry** (:mod:`repro.obs.telemetry`) — a live per-epoch sampler
+  (``simulate(..., telemetry=...)``) filling a bounded columnar store
+  with residency/power/slack/migration/bus time series, streaming
+  JSONL / Prometheus / SSE exporters, and online anomaly detectors;
+  :mod:`repro.obs.serve` + :mod:`repro.obs.dashboard` put an HTTP
+  dashboard on top (``repro watch``). Telemetry-enabled runs stay
+  bit-identical in energy.
 
 See ``docs/OBSERVABILITY.md`` for the event schema and a Perfetto
 walkthrough.
@@ -76,6 +83,18 @@ from repro.obs.metrics import (
     MetricsReport,
     render_metrics,
 )
+from repro.obs.telemetry import (
+    CusumDetector,
+    JsonlExporter,
+    PendingDriftDetector,
+    PrometheusExporter,
+    SseBroker,
+    TelemetryAnomaly,
+    TelemetryConfig,
+    TelemetrySampler,
+    TelemetrySnapshot,
+    TelemetryStore,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     JsonlTracer,
@@ -107,4 +126,10 @@ __all__ = [
     # export
     "chrome_trace", "write_chrome_trace", "validate_chrome_trace",
     "residency_from_events", "RESIDENCY_BUCKETS",
+    # telemetry (repro.obs.serve/.dashboard stay lazy: they pull in the
+    # bench report's SVG machinery, which repro watch alone needs)
+    "TelemetrySampler", "TelemetryConfig", "TelemetryStore",
+    "TelemetrySnapshot", "TelemetryAnomaly", "CusumDetector",
+    "PendingDriftDetector", "JsonlExporter", "PrometheusExporter",
+    "SseBroker",
 ]

@@ -1,0 +1,173 @@
+"""Self-contained HTML dashboard for ``repro watch``.
+
+Pure render functions: the panel fragment is rebuilt server-side from a
+:class:`~repro.obs.telemetry.TelemetrySnapshot` on every poll, reusing
+the bench report's inline-SVG sparkline machinery, so the page needs no
+JS framework and no external assets — a tiny inline script swaps the
+``#panels`` fragment every refresh and mirrors the SSE feed into a log.
+"""
+
+from __future__ import annotations
+
+import html
+
+from repro.bench.report import sparkline
+from repro.obs.telemetry import TelemetryAnomaly, TelemetrySnapshot
+
+#: (column, title, stroke) for the run-wide scalar panels, in page order.
+SCALAR_PANELS = (
+    ("power_w", "Total power draw (W)", "#b3261e"),
+    ("slack_balance", "Slack account balance (cycles)", "#1b6e3c"),
+    ("slack_pending", "Pending (buffered) transfers", "#7a5b00"),
+    ("migrations", "Cumulative PL page moves", "#3f51b5"),
+    ("migration_waves", "Migration waves", "#6a1b9a"),
+    ("degradation_cycles", "Degradation to date (cycles)", "#b3261e"),
+    ("requests", "Arrived DMA-memory requests", "#00695c"),
+)
+
+#: Max points fed to one sparkline (decimated deterministically).
+MAX_POINTS = 240
+
+
+def decimate(values: list[float], limit: int = MAX_POINTS) -> list[float]:
+    """Every k-th point so a long series stays readable (keeps the last)."""
+    if len(values) <= limit:
+        return values
+    step = -(-len(values) // limit)  # ceil
+    sampled = values[::step]
+    if sampled[-1] != values[-1]:
+        sampled.append(values[-1])
+    return sampled
+
+
+def _panel(title: str, values: list[float], stroke: str) -> str:
+    latest = f"{values[-1]:,.3g}" if values else "&mdash;"
+    svg = sparkline(decimate(values), width=260, height=56, stroke=stroke)
+    return (f'<div class="panel"><h3>{html.escape(title)}</h3>'
+            f'<div class="latest">{latest}</div>{svg}</div>')
+
+
+def low_power_share(snapshot: TelemetrySnapshot) -> list[float]:
+    """Fraction of all chip-cycles to date spent in low-power modes."""
+    low = [name for name in snapshot.columns
+           if name.startswith("chip") and name.endswith(".low_power")]
+    if not low or not len(snapshot):
+        return []
+    ts = snapshot.column("ts")
+    total = sum(snapshot.column(name) for name in low)
+    out = []
+    for t, cycles in zip(ts, total):
+        denom = t * len(low)
+        out.append(float(cycles / denom) if denom > 0 else 0.0)
+    return out
+
+
+def render_panels(snapshot: TelemetrySnapshot,
+                  anomalies: list[TelemetryAnomaly]) -> str:
+    """The auto-refreshed ``#panels`` fragment."""
+    parts = ['<div id="panels">']
+    if len(snapshot):
+        ts = snapshot.column("ts")
+        parts.append(
+            f'<p class="meta">{snapshot.ticks} samples '
+            f'({len(snapshot)} retained, stride {snapshot.stride}) '
+            f'&middot; sim clock {ts[-1]:,.0f} cycles</p>')
+    else:
+        parts.append('<p class="meta">waiting for the first sample&hellip;'
+                     '</p>')
+    parts.append('<div class="grid">')
+    for column, title, stroke in SCALAR_PANELS:
+        if column not in snapshot.columns:
+            continue
+        values = (list(snapshot.column(column)) if len(snapshot) else [])
+        parts.append(_panel(title, values, stroke))
+    parts.append(_panel("Low-power residency share",
+                        low_power_share(snapshot), "#1b6e3c"))
+    bus_cols = [name for name in snapshot.columns
+                if name.endswith(".queue_depth")]
+    for name in bus_cols:
+        values = (list(snapshot.column(name)) if len(snapshot) else [])
+        parts.append(_panel(f"Bus {name[3:name.index('.')]} queue depth",
+                            values, "#555"))
+    parts.append('</div>')
+    if anomalies:
+        parts.append(f'<h3 class="alarm">Anomalies ({len(anomalies)})</h3>'
+                     '<ul class="anomalies">')
+        for anomaly in anomalies[-20:]:
+            parts.append(
+                f'<li><code>{html.escape(anomaly.kind)}</code> '
+                f'@ {anomaly.ts:,.0f}: {html.escape(anomaly.message)}</li>')
+        parts.append('</ul>')
+    parts.append('</div>')
+    return "".join(parts)
+
+
+_CSS = """
+body { font-family: system-ui, sans-serif; margin: 2em auto;
+       max-width: 72em; color: #1f1f1f; }
+h1 { font-size: 1.3em; } h3 { font-size: .85em; margin: 0 0 .2em; }
+.grid { display: flex; flex-wrap: wrap; gap: 1em; }
+.panel { border: 1px solid #ddd; border-radius: .5em; padding: .7em 1em;
+         min-width: 17em; }
+.latest { font-size: 1.2em; font-variant-numeric: tabular-nums; }
+.meta { color: #666; font-size: .8em; }
+.alarm { color: #b3261e; }
+.anomalies { font-size: .85em; }
+.spark { vertical-align: middle; }
+#log { font-family: monospace; font-size: .75em; color: #555;
+       white-space: pre-wrap; max-height: 10em; overflow-y: auto; }
+footer { margin-top: 3em; color: #888; font-size: .75em; }
+"""
+
+
+def render_page(title: str, refresh_ms: int = 1000) -> str:
+    """The dashboard shell served at ``/``.
+
+    The inline script polls ``/panels`` (server-rendered fragment) at
+    ``refresh_ms`` and tails the SSE feed into a small event log; both
+    degrade gracefully when the run (and its server) has ended.
+    """
+    return f"""<!doctype html>
+<html lang="en"><head><meta charset="utf-8">
+<title>{html.escape(title)}</title>
+<style>{_CSS}</style></head>
+<body>
+<h1>repro watch &mdash; {html.escape(title)}</h1>
+<div id="panels"><p class="meta">loading&hellip;</p></div>
+<h3>Event stream</h3>
+<div id="log"></div>
+<footer>Endpoints: <code>/panels</code> &middot; <code>/data.json</code>
+&middot; <code>/metrics</code> (Prometheus) &middot; <code>/events</code>
+(SSE). See docs/OBSERVABILITY.md.</footer>
+<script>
+async function poll() {{
+  try {{
+    const response = await fetch('/panels');
+    if (response.ok) {{
+      document.getElementById('panels').outerHTML = await response.text();
+    }}
+  }} catch (err) {{ /* server gone: run finished */ }}
+}}
+setInterval(poll, {refresh_ms});
+poll();
+const log = document.getElementById('log');
+try {{
+  const source = new EventSource('/events');
+  const append = (line) => {{
+    log.textContent += line + '\\n';
+    log.scrollTop = log.scrollHeight;
+  }};
+  source.addEventListener('anomaly', (e) => append('anomaly ' + e.data));
+  source.addEventListener('sample', (e) => {{
+    const row = JSON.parse(e.data);
+    append('sample ts=' + row.ts.toFixed(0) + ' power=' +
+           row.power_w.toFixed(2) + 'W');
+  }});
+}} catch (err) {{ /* no SSE: polling still works */ }}
+</script>
+</body></html>
+"""
+
+
+__all__ = ["SCALAR_PANELS", "MAX_POINTS", "decimate", "low_power_share",
+           "render_panels", "render_page"]

@@ -1,0 +1,184 @@
+"""Stdlib HTTP server for live telemetry (``repro watch``).
+
+A :class:`TelemetryServer` wraps ``http.server.ThreadingHTTPServer`` in
+a daemon thread and serves, off one bound
+:class:`~repro.obs.telemetry.TelemetrySampler`:
+
+* ``/`` — the self-contained HTML dashboard shell,
+* ``/panels`` — the server-rendered SVG panel fragment the page polls,
+* ``/data.json`` — the retained columnar snapshot as JSON,
+* ``/metrics`` — Prometheus text exposition (latest sample),
+* ``/events`` — Server-Sent-Events feed of samples and anomalies.
+
+No third-party dependency: the whole thing is ``http.server`` +
+``threading``, matching the repo's stdlib-only constraint.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import queue
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.dashboard import render_page, render_panels
+from repro.obs.telemetry import (
+    PrometheusExporter,
+    SseBroker,
+    TelemetrySampler,
+)
+
+logger = logging.getLogger("repro.obs.serve")
+
+#: Seconds between SSE keep-alive comments when no samples flow.
+_SSE_PING_S = 1.0
+
+
+class TelemetryServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one telemetry sampler.
+
+    Pass ``port=0`` for an ephemeral port (read the actual one from
+    :attr:`port`). The server owns a :class:`PrometheusExporter` and an
+    :class:`SseBroker`; register both on the sampler via
+    :attr:`exporters` before the run starts.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, sampler: TelemetrySampler, host: str = "127.0.0.1",
+                 port: int = 0, title: str = "simulation",
+                 refresh_ms: int = 1000) -> None:
+        self.sampler = sampler
+        self.title = title
+        self.refresh_ms = refresh_ms
+        self.prometheus = PrometheusExporter()
+        self.sse = SseBroker()
+        self._stopping = threading.Event()
+        self._thread: threading.Thread | None = None
+        super().__init__((host, port), _TelemetryHandler)
+
+    @property
+    def exporters(self) -> list:
+        """Exporters to register on the sampler (order is irrelevant)."""
+        return [self.prometheus, self.sse]
+
+    @property
+    def host(self) -> str:
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/"
+
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self.serve_forever,
+                                        name="telemetry-http", daemon=True)
+        self._thread.start()
+        logger.info("telemetry dashboard at %s", self.url)
+
+    def stop(self) -> None:
+        """Shut down: wake SSE subscribers, stop accepting, join."""
+        self._stopping.set()
+        self.sse.close()
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    @property
+    def stopping(self) -> bool:
+        return self._stopping.is_set()
+
+
+class _TelemetryHandler(BaseHTTPRequestHandler):
+    server: TelemetryServer  # narrowed for the route handlers
+
+    # Route BaseHTTPRequestHandler's stderr chatter through the module
+    # logger, so --log-format json captures access lines too.
+    def log_message(self, format: str, *args) -> None:
+        logger.debug("%s %s", self.address_string(), format % args)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler name)
+        try:
+            path = self.path.split("?", 1)[0]
+            if path == "/":
+                self._send(200, "text/html; charset=utf-8",
+                           render_page(self.server.title,
+                                       self.server.refresh_ms))
+            elif path == "/panels":
+                self._send(200, "text/html; charset=utf-8",
+                           self._render_panels())
+            elif path == "/data.json":
+                self._send(200, "application/json", self._render_data())
+            elif path == "/metrics":
+                self._send(200, "text/plain; version=0.0.4; charset=utf-8",
+                           self.server.prometheus.render())
+            elif path == "/events":
+                self._stream_events()
+            else:
+                self._send(404, "text/plain; charset=utf-8", "not found\n")
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response; nothing to clean up
+
+    def _send(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _render_panels(self) -> str:
+        sampler = self.server.sampler
+        if sampler.store is None:
+            return ('<div id="panels"><p class="meta">sampler not bound '
+                    'yet</p></div>')
+        return render_panels(sampler.store.snapshot(),
+                             list(sampler.anomalies))
+
+    def _render_data(self) -> str:
+        sampler = self.server.sampler
+        if sampler.store is None:
+            return json.dumps({"columns": [], "rows": [], "ticks": 0})
+        snapshot = sampler.store.snapshot()
+        return json.dumps({
+            "columns": list(snapshot.columns),
+            "rows": snapshot.data.tolist(),
+            "stride": snapshot.stride,
+            "ticks": snapshot.ticks,
+            "dropped": snapshot.dropped,
+            "anomalies": [a.as_dict() for a in sampler.anomalies],
+        })
+
+    def _stream_events(self) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        subscriber = self.server.sse.subscribe()
+        try:
+            while not self.server.stopping:
+                try:
+                    item = subscriber.get(timeout=_SSE_PING_S)
+                except queue.Empty:
+                    self.wfile.write(b": keep-alive\n\n")
+                    self.wfile.flush()
+                    continue
+                if item is None:  # close() sentinel
+                    break
+                event, payload = item
+                self.wfile.write(
+                    f"event: {event}\ndata: {payload}\n\n".encode("utf-8"))
+                self.wfile.flush()
+        finally:
+            self.server.sse.unsubscribe(subscriber)
+
+
+__all__ = ["TelemetryServer"]

@@ -24,6 +24,9 @@ class EventKind(enum.IntEnum):
     PROC_DONE = 3
     EPOCH = 4
     INTERVAL = 5
+    # TELEMETRY pops last at equal timestamps so a sample observes the
+    # post-everything state of its instant; the handler is read-only.
+    TELEMETRY = 6
 
 
 class EventQueue:

@@ -74,12 +74,17 @@ class FluidEngine:
             and per-epoch progress counters. A disabled or ``None``
             tracer is normalised away so the hot paths pay a single
             ``is not None`` check.
+        telemetry: optional
+            :class:`~repro.obs.telemetry.TelemetrySampler`; when given,
+            the run schedules read-only TELEMETRY events at the
+            sampler's cadence. Sampling never touches chip accrual, so
+            a telemetry-enabled run stays bit-identical in energy.
     """
 
     def __init__(self, trace: Trace, config: SimulationConfig,
                  technique: str = "baseline", seed: int = 0,
                  record_timeline: bool = False,
-                 tracer=None) -> None:
+                 tracer=None, telemetry=None) -> None:
         if technique not in TECHNIQUES:
             raise ConfigurationError(
                 f"unknown technique {technique!r}; expected one of {TECHNIQUES}")
@@ -177,6 +182,10 @@ class FluidEngine:
             memory_config.page_bytes / model.bytes_per_cycle)
         self._total_pages = memory_config.total_pages
 
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.bind(self)
+
     # ------------------------------------------------------------------
     # Global request-arrival accounting (slack credits)
     # ------------------------------------------------------------------
@@ -219,9 +228,18 @@ class FluidEngine:
         if self._pl_enabled:
             self.queue.push(
                 self.config.layout.interval_cycles, EventKind.INTERVAL, None)
+        if self.telemetry is not None:
+            self.queue.push(self.telemetry.sample_cycles,
+                            EventKind.TELEMETRY, None)
 
         while self.queue:
             now, kind, payload = self.queue.pop()
+            if kind is EventKind.TELEMETRY:
+                # Read-only snapshot: no drain, no progress update — a
+                # telemetry-enabled run must replay the disabled run's
+                # event sequence exactly.
+                self._on_telemetry(now)
+                continue
             if kind is EventKind.ARRIVAL:
                 self._on_arrival(payload, now)
             elif kind is EventKind.COMPLETE:
@@ -238,6 +256,8 @@ class FluidEngine:
 
         end = max(self._last_progress, self.trace.duration_cycles)
         self.memory.advance_all(end)
+        if self.telemetry is not None:
+            self.telemetry.sample(end, final=True)
         return self._build_result(end)
 
     def _work_remaining(self) -> bool:
@@ -382,6 +402,12 @@ class FluidEngine:
         epoch = self.controller.epoch_cycles()
         if epoch:
             self.queue.push(now + epoch, EventKind.EPOCH, None)
+
+    def _on_telemetry(self, now: float) -> None:
+        self.telemetry.sample(now)
+        if self._work_remaining():
+            self.queue.push(now + self.telemetry.sample_cycles,
+                            EventKind.TELEMETRY, None)
 
     def _on_interval(self, now: float) -> None:
         if self._records_done and not self._active:

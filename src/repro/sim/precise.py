@@ -49,6 +49,10 @@ _EV_CHIP_READY = 4
 _EV_DESCENT = 5
 _EV_EPOCH = 6
 _EV_INTERVAL = 7
+# Highest kind: a telemetry sample pops last at equal timestamps, so it
+# observes the post-everything state of its instant. Handled inline in
+# the run loop (read-only, never in _HANDLERS, never extends the run).
+_EV_TELEMETRY = 8
 
 # Request priority classes (lower value served first).
 _PRIO_PROC = 0
@@ -224,6 +228,47 @@ class _PChip:
 
     _transit_power = 0.0
 
+    def observe(self, now: float) -> tuple[dict[str, float], float]:
+        """Residency-to-date buckets and instantaneous power at ``now``.
+
+        Strictly read-only: the pending ``now - _last`` span is
+        classified exactly as :meth:`touch` will classify it, but
+        nothing is accrued — splitting an accrual at an observation
+        point would change float rounding, and telemetry-enabled runs
+        must stay bit-identical in energy. Used by the live-telemetry
+        sampler only.
+        """
+        buckets = self.time.as_dict()
+        buckets.pop("total", None)
+        in_transit = (self.waking_until is not None
+                      or self.transition_until is not None)
+        if self.serving is not None:
+            power = self.model.active_power
+        elif in_transit:
+            power = self._transit_power
+        else:
+            power = self.model.power(self.state)
+        delta = now - self._last
+        if delta <= 0:
+            return buckets, power
+        if self.serving is not None:
+            if self.serving.priority == _PRIO_PROC:
+                buckets["serving_proc"] += delta
+            elif self.serving.priority == _PRIO_DMA:
+                buckets["serving_dma"] += delta
+            else:
+                buckets["migration"] += delta
+        elif in_transit:
+            buckets["transition"] += delta
+        elif self.state is PowerState.ACTIVE:
+            if self.inflight_transfers > 0:
+                buckets["idle_dma"] += delta
+            else:
+                buckets["idle_threshold"] += delta
+        else:
+            buckets["low_power"] += delta
+        return buckets, power
+
     def _count_transition(self, source: PowerState,
                           target: PowerState) -> None:
         edge = f"{source.value}->{target.value}"
@@ -332,7 +377,8 @@ class PreciseEngine:
 
     def __init__(self, trace: Trace, config: SimulationConfig,
                  technique: str = "baseline", seed: int = 0,
-                 tracer=None, vectorize: bool = True) -> None:
+                 tracer=None, vectorize: bool = True,
+                 telemetry=None) -> None:
         if technique not in TECHNIQUES:
             raise ConfigurationError(
                 f"unknown technique {technique!r}; expected one of {TECHNIQUES}")
@@ -410,6 +456,7 @@ class PreciseEngine:
                                    else math.inf)
         self._next_epoch_time = math.inf
         self._next_interval_time = math.inf
+        self._next_telemetry_time = math.inf
         if vectorize:
             from repro.sim.array_timeline import ArrayTimelineKernel
 
@@ -429,6 +476,10 @@ class PreciseEngine:
         self._last_completion: dict[int, float] = {}
         self._dma_service_hist = self.registry.histogram(
             "dma.service_per_request")
+
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.bind(self)
 
     def _arrived_requests(self) -> float:
         return float(self.arrived_requests)
@@ -459,17 +510,40 @@ class PreciseEngine:
             self.queue.push(self.config.layout.interval_cycles,
                             _EV_INTERVAL, None)
             self._next_interval_time = self.config.layout.interval_cycles
+        if self.telemetry is not None:
+            self._next_telemetry_time = self.telemetry.sample_cycles
+            self.queue.push(self._next_telemetry_time, _EV_TELEMETRY, None)
 
+        # ``progress`` tracks the last state-changing event only:
+        # a trailing telemetry sample must not stretch the simulated
+        # horizon (that would accrue extra idle energy and break the
+        # bit-identical-to-untelemetered guarantee). With telemetry
+        # disabled this equals queue.now exactly (heap pops in order).
+        progress = 0.0
         while self.queue:
             now, kind, payload = self.queue.pop()
+            if kind == _EV_TELEMETRY:
+                self._on_telemetry(now)
+                continue
+            progress = now
             handler = self._HANDLERS[int(kind)]
             handler(self, payload, now)
             self._maybe_drain(now)
 
-        end = max(self.queue.now, self.trace.duration_cycles)
+        end = max(progress, self.trace.duration_cycles)
         for chip in self.chips:
             chip.touch(end)
+        if self.telemetry is not None:
+            self.telemetry.sample(end, final=True)
         return self._build_result(end)
+
+    def _on_telemetry(self, now: float) -> None:
+        self.telemetry.sample(now)
+        if self._work_remaining():
+            self._next_telemetry_time = now + self.telemetry.sample_cycles
+            self.queue.push(self._next_telemetry_time, _EV_TELEMETRY, None)
+        else:
+            self._next_telemetry_time = math.inf
 
     def _work_remaining(self) -> bool:
         return (not self._records_done or self._open_transfers > 0

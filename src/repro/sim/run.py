@@ -51,6 +51,7 @@ def simulate(
     record_timeline: bool = False,
     tracer=None,
     profile: bool | None = None,
+    telemetry=None,
 ) -> SimulationResult:
     """Run one simulation of ``trace`` under ``technique``.
 
@@ -82,6 +83,12 @@ def simulate(
             the ``REPRO_PROFILE`` environment variable (see
             :mod:`repro.obs.perf`), which is how the switch reaches
             executor worker processes.
+        telemetry: optional
+            :class:`~repro.obs.telemetry.TelemetrySampler` capturing
+            live per-epoch time series (residency, power, slack,
+            migrations, bus depth) during the run; the sampler is
+            read-only, so results stay bit-identical in energy. See
+            ``docs/OBSERVABILITY.md`` ("Live telemetry").
 
     Returns:
         The :class:`~repro.sim.results.SimulationResult`.
@@ -101,7 +108,7 @@ def simulate(
         engine_run = FluidEngine(trace, config, technique=technique,
                                  seed=seed,
                                  record_timeline=record_timeline,
-                                 tracer=tracer).run
+                                 tracer=tracer, telemetry=telemetry).run
     else:
         if record_timeline:
             raise ConfigurationError(
@@ -110,7 +117,8 @@ def simulate(
 
         engine_run = PreciseEngine(trace, config, technique=technique,
                                    seed=seed, tracer=tracer,
-                                   vectorize=engine != "precise-scalar").run
+                                   vectorize=engine != "precise-scalar",
+                                   telemetry=telemetry).run
 
     from repro.obs.perf import profiling_enabled, run_profiled
 

@@ -269,6 +269,141 @@ class TestLogLevel:
         assert args.log_level == "warning"
 
 
+class TestLogFormat:
+    def _clean_root(self):
+        root = logging.getLogger()
+        state = (root.level, list(root.handlers))
+        for handler in state[1]:
+            root.removeHandler(handler)
+        return root, state
+
+    def _restore_root(self, root, state):
+        level, handlers = state
+        for handler in list(root.handlers):
+            root.removeHandler(handler)
+        for handler in handlers:
+            root.addHandler(handler)
+        root.setLevel(level)
+
+    def test_json_formatter_shape(self):
+        from repro.cli import JsonLogFormatter
+
+        record = logging.LogRecord("repro.x", logging.WARNING, "f.py", 1,
+                                   "bad %s", ("thing",), None)
+        payload = json.loads(JsonLogFormatter().format(record))
+        assert payload["level"] == "warning"
+        assert payload["logger"] == "repro.x"
+        assert payload["message"] == "bad thing"
+        assert isinstance(payload["ts"], float)
+        assert "exc" not in payload
+
+    def test_json_formatter_includes_traceback(self):
+        import sys as _sys
+
+        from repro.cli import JsonLogFormatter
+
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            record = logging.LogRecord("repro.x", logging.ERROR, "f.py", 1,
+                                       "failed", (), _sys.exc_info())
+        payload = json.loads(JsonLogFormatter().format(record))
+        assert "ValueError: boom" in payload["exc"]
+
+    def test_json_flag_emits_json_lines(self, tmp_path, capsys):
+        root, state = self._clean_root()
+        try:
+            path = tmp_path / "t.jsonl"
+            assert main(["--log-level", "debug", "--log-format", "json",
+                         "generate", "synthetic-st", "-o", str(path),
+                         "--duration-ms", "1"]) == 0
+            err = capsys.readouterr().err
+            lines = [json.loads(line) for line in err.splitlines()
+                     if line.startswith("{")]
+            assert lines, f"no JSON log lines in {err!r}"
+            assert any(entry["logger"].startswith("repro.")
+                       for entry in lines)
+        finally:
+            self._restore_root(root, state)
+
+    def test_json_implies_info_level(self, tmp_path, capsys):
+        root, state = self._clean_root()
+        try:
+            path = tmp_path / "t.jsonl"
+            assert main(["--log-format", "json", "generate",
+                         "synthetic-st", "-o", str(path),
+                         "--duration-ms", "1"]) == 0
+            assert root.level == logging.INFO
+        finally:
+            self._restore_root(root, state)
+
+    def test_invalid_env_format_falls_back_to_text(self, tmp_path,
+                                                   capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_FORMAT", "xml")
+        path = tmp_path / "t.jsonl"
+        assert main(["generate", "synthetic-st", "-o", str(path),
+                     "--duration-ms", "1"]) == 0
+        assert "unknown log format 'xml'" in capsys.readouterr().err
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_FORMAT", "json")
+        from repro.cli import build_parser as rebuild
+
+        args = rebuild().parse_args(["generate", "synthetic-st", "-o", "x"])
+        assert args.log_format == "json"
+
+    def test_rejects_unknown_format_flag(self):
+        with pytest.raises(SystemExit):
+            main(["--log-format", "xml", "generate", "synthetic-st",
+                  "-o", "x"])
+
+
+class TestStatsAuditHealth:
+    def test_clean_run_reports_ok(self, trace_file, capsys):
+        assert main(["stats", str(trace_file), "--technique", "dma-ta",
+                     "--mu", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "audit: ok (0 violations)" in out
+
+    def test_violations_counted_by_kind(self, capsys):
+        from types import SimpleNamespace
+
+        from repro.cli import _audit_health_line
+
+        report = SimpleNamespace(ok=False, violations=[
+            SimpleNamespace(kind="slack-undercharge"),
+            SimpleNamespace(kind="slack-undercharge"),
+            SimpleNamespace(kind="energy-ledger"),
+        ])
+        line = _audit_health_line(report)
+        assert "3 violation(s)" in line
+        assert "slack-undercharge: 2" in line
+        assert "energy-ledger: 1" in line
+        assert "repro audit" in line
+
+
+class TestWatchParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["watch", "t.jsonl"])
+        assert args.technique == "dma-ta-pl"
+        assert args.serve_port == 8765
+        assert args.linger_s == 10.0
+        assert not args.no_browser
+        assert args.inject_spike == 0.0
+
+    def test_all_flags_parse(self):
+        args = build_parser().parse_args(
+            ["watch", "t.jsonl", "--engine", "precise", "--cp-limit",
+             "0.1", "--sample-cycles", "500", "--capacity", "128",
+             "--serve-port", "0", "--no-browser", "--port-file", "p",
+             "--linger-s", "0", "--telemetry-out", "o.jsonl",
+             "--inject-spike", "1e6", "--inject-spike-at", "0.75"])
+        assert args.engine == "precise"
+        assert args.capacity == 128
+        assert args.inject_spike == 1e6
+        assert args.inject_spike_at == 0.75
+
+
 class TestCalibrate:
     def test_prints_mu(self, trace_file, capsys):
         assert main(["calibrate", str(trace_file),
