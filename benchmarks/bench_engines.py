@@ -18,6 +18,9 @@ from benchmarks.common import Stopwatch, metric, save_record, save_report
 
 DURATION_MS = 2.0
 
+#: The small sweep used to price fleet observability (2 pool workers).
+FLEET_CP_LIMITS = (0.05, 0.20)
+
 
 def test_engine_agreement_and_speed(benchmark):
     trace = synthetic_storage_trace(duration_ms=DURATION_MS,
@@ -101,8 +104,43 @@ def test_engine_agreement_and_speed(benchmark):
         metric("telemetry/samples", float(sampler.samples_captured),
                unit="count"),
     ]
-    save_record("engines", "engines", metrics, phases=watch.phases)
 
+    # Fleet observability: a traced 2-worker sweep (workers stream
+    # spans/heartbeats/audit rollups to the parent collector) must stay
+    # byte-identical to the plain pool and its wall-clock premium is
+    # published as fleet/overhead_frac.
+    from repro.analysis.sweep import sweep_cp_limit
+    from repro.obs.fleet import FleetCollector, FleetConfig
+
+    with watch.phase("fleet-sweep"):
+        start = time.perf_counter()
+        plain_points = sweep_cp_limit(trace, list(FLEET_CP_LIMITS),
+                                      ["dma-ta"], max_workers=2)
+        plain_s = time.perf_counter() - start
+        collector = FleetCollector(FleetConfig())
+        start = time.perf_counter()
+        fleet_points = sweep_cp_limit(trace, list(FLEET_CP_LIMITS),
+                                      ["dma-ta"], max_workers=2,
+                                      fleet=collector)
+        fleet_s = time.perf_counter() - start
+        fleet_report = collector.report()
+        collector.close()
+
+    metrics += [
+        metric("fleet/overhead_frac",
+               max(0.0, fleet_s / max(plain_s, 1e-9) - 1.0),
+               unit="fraction"),
+        metric("fleet/spans_merged", float(fleet_report.spans_merged),
+               unit="count"),
+    ]
+    save_record("engines", "engines", metrics, phases=watch.phases,
+                fleet=fleet_report.as_dict())
+
+    assert all(p.ok for p in plain_points + fleet_points)
+    assert [p.result.energy.as_dict() for p in fleet_points] == \
+        [p.result.energy.as_dict() for p in plain_points]
+    assert fleet_report.computed == len(FLEET_CP_LIMITS) + 1  # + baseline
+    assert not fleet_report.stalls
     assert telemetered.energy.as_dict() == fluid.energy.as_dict()
     assert sampler.samples_captured > 0
     assert scalar.energy.as_dict() == precise.energy.as_dict()

@@ -272,7 +272,8 @@ def metric(name: str, value: float, unit: str = "",
 
 
 def save_record(name: str, figure: str, metrics: list[Metric],
-                phases: list[tuple[str, float]] | None = None) -> Path:
+                phases: list[tuple[str, float]] | None = None,
+                fleet: dict | None = None) -> Path:
     """Archive one bench run as ``results/<name>.json`` (atomically).
 
     ``phases`` are the bench's own stopwatch phases; a ``simulate``
@@ -280,7 +281,9 @@ def save_record(name: str, figure: str, metrics: list[Metric],
     :attr:`repro.exec.runner.JobOutcome.wall_s` since the previous
     record is appended automatically, as are the cache counters and
     (when ``REPRO_PROFILE=1``) the merged hot paths of the profiled
-    runs.
+    runs. ``fleet`` is an optional
+    :meth:`repro.obs.fleet.FleetReport.as_dict` rollup from a
+    fleet-observed sweep the bench ran.
     """
     sim_wall, cache_counts, profile, audit = _SESSION.drain()
     if audit["findings"]:
@@ -308,6 +311,7 @@ def save_record(name: str, figure: str, metrics: list[Metric],
         cache=cache_counts,
         profile=profile,
         audit=audit,
+        fleet=dict(fleet) if fleet else {},
     )
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.json"

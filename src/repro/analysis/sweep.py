@@ -94,7 +94,8 @@ def sweep_cp_limit(trace: Trace, cp_limits: list[float],
                    engine: str = "fluid",
                    max_workers: int = 1,
                    cache: ResultCache | None = None,
-                   timeout_s: float | None = None) -> list[SweepPoint]:
+                   timeout_s: float | None = None,
+                   fleet=None) -> list[SweepPoint]:
     """The Figure 5/7 sweep: savings and uf as CP-Limit varies.
 
     The baseline run is shared across all points (it has no performance
@@ -106,6 +107,9 @@ def sweep_cp_limit(trace: Trace, cp_limits: list[float],
             (1 = serial; results are identical either way).
         cache: optional on-disk result cache (warm sweeps are free).
         timeout_s: per-point timeout under pool execution.
+        fleet: optional :class:`~repro.obs.fleet.FleetCollector` for
+            cross-process sweep observability (live dashboard, merged
+            fleet trace, stalled-worker watchdog).
 
     Returns:
         Points in ``for cp in cp_limits: for technique in techniques``
@@ -121,7 +125,7 @@ def sweep_cp_limit(trace: Trace, cp_limits: list[float],
     ]
     outcomes = run_many([baseline_job] + point_jobs,
                         max_workers=max_workers, cache=cache,
-                        timeout_s=timeout_s)
+                        timeout_s=timeout_s, fleet=fleet)
     base, point_outcomes = outcomes[0], outcomes[1:]
     baseline = base.result
 

@@ -113,6 +113,11 @@ class BenchRecord:
             ``{"checked": <runs audited>, "findings": [<one-liners>]}``
             from :func:`repro.obs.audit.audit_result` over the session's
             simulation results (empty findings = all invariants held).
+        fleet: sweep-level fleet rollup
+            (:meth:`repro.obs.fleet.FleetReport.as_dict`) when the bench
+            ran a fleet-observed parallel sweep; empty otherwise. An
+            additive block: absent in older records, tolerated by the
+            parser without a schema bump.
     """
 
     name: str
@@ -124,6 +129,7 @@ class BenchRecord:
     cache: dict[str, int] = field(default_factory=dict)
     profile: list[dict[str, Any]] | None = None
     audit: dict[str, Any] = field(default_factory=dict)
+    fleet: dict[str, Any] = field(default_factory=dict)
 
     # --- derived ---------------------------------------------------------
 
@@ -176,6 +182,8 @@ class BenchRecord:
             "cache": dict(self.cache),
             "audit": dict(self.audit),
         }
+        if self.fleet:
+            out["fleet"] = dict(self.fleet)
         if self.profile is not None:
             out["profile"] = list(self.profile)
         return out
@@ -217,6 +225,9 @@ class BenchRecord:
         audit = obj.get("audit", {})
         if not isinstance(audit, Mapping):
             raise BenchFormatError(f"{where}: audit is not an object")
+        fleet = obj.get("fleet", {})
+        if not isinstance(fleet, Mapping):
+            raise BenchFormatError(f"{where}: fleet is not an object")
         return cls(
             name=name, figure=figure,
             created=str(obj.get("created", "")),
@@ -225,6 +236,7 @@ class BenchRecord:
                    if isinstance(v, (int, float))},
             profile=list(profile) if profile is not None else None,
             audit=dict(audit),
+            fleet=dict(fleet),
         )
 
 

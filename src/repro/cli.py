@@ -171,6 +171,47 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--cache-dir", default=None,
                        help="cache directory (default: $REPRO_CACHE_DIR "
                             "or .repro_cache)")
+    sweep.add_argument("--fleet", action=argparse.BooleanOptionalAction,
+                       default=None,
+                       help="cross-process fleet observability (default: "
+                            "auto — on for --jobs > 1 and whenever "
+                            "--watch or a fleet output is requested; "
+                            "--no-fleet forces it off)")
+    sweep.add_argument("--watch", action="store_true",
+                       help="serve the live fleet dashboard while the "
+                            "sweep runs")
+    sweep.add_argument("--serve-port", type=int, default=8766,
+                       help="dashboard port for --watch (0 = ephemeral; "
+                            "default 8766)")
+    sweep.add_argument("--host", default="127.0.0.1",
+                       help="dashboard bind address (default 127.0.0.1)")
+    sweep.add_argument("--port-file", default=None,
+                       help="write the dashboard's bound port to this "
+                            "file once listening (handy with "
+                            "--serve-port 0 in scripts/CI)")
+    sweep.add_argument("--no-browser", action="store_true",
+                       help="do not open the dashboard in a browser")
+    sweep.add_argument("--linger-s", type=float, default=0.0,
+                       help="keep the --watch dashboard up this many "
+                            "seconds after the sweep finishes")
+    sweep.add_argument("--refresh-ms", type=int, default=1000,
+                       help="dashboard panel refresh period")
+    sweep.add_argument("--fleet-trace-out", default=None, metavar="JSON",
+                       help="write the merged fleet Perfetto trace here")
+    sweep.add_argument("--fleet-report-out", default=None, metavar="JSON",
+                       help="write the FleetReport JSON here")
+    sweep.add_argument("--stall-timeout", type=float, default=None,
+                       help="absolute no-heartbeat bound (s) before a "
+                            "worker counts as stalled (default: derived "
+                            "from observed job wall-times)")
+    sweep.add_argument("--inject-stall", default=None, metavar="TAG",
+                       help="fault injection: freeze the worker that "
+                            "picks up the job with this tag (e.g. "
+                            "'cp=0.1:dma-ta') to exercise the watchdog")
+    sweep.add_argument("--inject-stall-s", type=float, default=5.0,
+                       help="how long the injected freeze lasts "
+                            "(default 5s; keep it short — the frozen "
+                            "worker also delays interpreter exit)")
 
     trace_cmd = commands.add_parser(
         "trace", help="run one traced simulation and export a "
@@ -453,6 +494,8 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    import time
+
     from repro.analysis.sweep import sweep_cp_limit, sweep_errors
     from repro.exec import ResultCache
 
@@ -466,8 +509,65 @@ def _cmd_sweep(args) -> int:
         raise ReproError("--jobs must be at least 1")
     trace = read_trace(args.trace)
     cache = ResultCache(root=args.cache_dir) if args.cache else None
-    points = sweep_cp_limit(trace, cp_limits, [args.technique],
-                            max_workers=args.jobs, cache=cache)
+
+    want_fleet = args.fleet
+    if want_fleet is None:  # auto: on when there is something to observe
+        want_fleet = bool(args.jobs > 1 or args.watch
+                          or args.fleet_trace_out or args.fleet_report_out
+                          or args.inject_stall)
+    fleet = None
+    server = None
+    if want_fleet:
+        from repro.obs.fleet import FleetCollector, FleetConfig
+
+        fleet = FleetCollector(FleetConfig(
+            stall_after_s=args.stall_timeout,
+            inject_stall_tag=args.inject_stall or "",
+            inject_stall_s=args.inject_stall_s if args.inject_stall
+            else 0.0,
+        ))
+    if args.watch:
+        from repro.obs.serve import FleetServer
+
+        server = FleetServer(
+            fleet, host=args.host, port=args.serve_port,
+            title=f"{trace.name} / {args.technique}",
+            refresh_ms=args.refresh_ms)
+        server.start()
+        print(f"fleet dashboard: {server.url} "
+              f"(snapshot at {server.url}fleet.json, "
+              f"SSE at {server.url}events)")
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{server.port}\n")
+        if not args.no_browser:
+            import webbrowser
+
+            webbrowser.open(server.url)
+
+    try:
+        points = sweep_cp_limit(trace, cp_limits, [args.technique],
+                                max_workers=args.jobs, cache=cache,
+                                fleet=fleet)
+        exit_code = _report_sweep(args, trace, points, cache, fleet)
+        if server is not None and args.linger_s > 0:
+            print(f"dashboard stays up for {args.linger_s:g}s "
+                  "(Ctrl-C to stop early)")
+            try:
+                time.sleep(args.linger_s)
+            except KeyboardInterrupt:
+                pass
+    finally:
+        if server is not None:
+            server.stop()
+        if fleet is not None:
+            fleet.close()
+    return exit_code
+
+
+def _report_sweep(args, trace, points, cache, fleet) -> int:
+    from repro.analysis.sweep import sweep_errors
+
     chart = {p.x: p.savings for p in points if p.ok}
     if chart:
         print(savings_chart(chart,
@@ -495,6 +595,24 @@ def _cmd_sweep(args) -> int:
     else:
         print(f"audit: {sum(1 for p in points if p.ok)} point(s) passed "
               "result invariants")
+    if fleet is not None:
+        import json as json_module
+
+        report = fleet.report()
+        print(report.render())
+        if args.fleet_report_out:
+            with open(args.fleet_report_out, "w",
+                      encoding="utf-8") as handle:
+                json_module.dump(report.as_dict(), handle, indent=2)
+            print(f"wrote {args.fleet_report_out}: fleet report "
+                  f"({report.events_received} worker events)")
+        if args.fleet_trace_out:
+            path = fleet.write_chrome_trace(
+                args.fleet_trace_out,
+                label=f"{trace.name} / {args.technique}")
+            print(f"wrote {path}: merged fleet trace "
+                  f"({report.spans_merged} job spans) — load it at "
+                  "https://ui.perfetto.dev")
     failures = sweep_errors(points)
     if failures:
         print(failures, file=sys.stderr)

@@ -49,6 +49,25 @@ class SimJob:
     seed: int = 0
     tag: str = field(default="", compare=False)
 
+    @property
+    def label(self) -> str:
+        """A short human-readable handle for diagnostics and dashboards.
+
+        The caller's ``tag`` when present, else the technique plus
+        whichever degradation parameter is set — never empty, never part
+        of the job identity.
+        """
+        if self.tag:
+            return self.tag
+        parts = [self.technique]
+        if self.cp_limit is not None:
+            parts.append(f"cp={self.cp_limit:g}")
+        if self.mu is not None:
+            parts.append(f"mu={self.mu:g}")
+        if self.engine != "fluid":
+            parts.append(self.engine)
+        return ":".join(parts)
+
     def validate(self) -> None:
         """Raise :class:`~repro.errors.ConfigurationError` on a bad spec.
 

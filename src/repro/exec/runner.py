@@ -21,11 +21,29 @@ environment where processes cannot be spawned at all — degrades
 gracefully: the affected and remaining jobs are re-run serially in the
 submitting process instead.
 
-A per-job ``timeout_s`` bounds how long the submitter waits for each
-parallel job; a timed-out job is marked failed and its eventual result
-is abandoned (the worker process itself is not killed mid-task).
-Timeouts apply to pool execution only — the serial path runs each job
-to completion.
+Hang containment: the submitter never waits unboundedly on the pool.
+An explicit per-job ``timeout_s`` marks an overrunning job failed and
+abandons its eventual result. With ``timeout_s=None`` (the default) a
+*derived* wait bound applies instead — generous (the larger of
+:data:`DEFAULT_WAIT_FLOOR_S` and 20x the slowest job observed so far,
+floor overridable via ``REPRO_EXEC_WAIT_FLOOR_S``) — and a job that
+exceeds it is *downgraded*, not failed: its future is cancelled and the
+job re-runs on the serial path in the submitting process. Timeouts and
+wait bounds apply to pool execution only — the serial path runs each
+job to completion.
+
+The pool's start method follows the platform default; set
+``REPRO_EXEC_START_METHOD=spawn`` (or ``forkserver``/``fork``) to
+override — useful where fork inherits problematic state (threads, CUDA
+handles) into workers.
+
+Fleet observability: pass a :class:`~repro.obs.fleet.FleetCollector` as
+``fleet=`` and the pool is built with the fleet initializer so workers
+stream progress events (started/heartbeat/finished, trace spans, audit
+rollups) back to the submitting process. The collector's heartbeat
+watchdog can declare a silent worker stalled; the runner then cancels
+that job's future and requeues it onto the serial path, so a frozen
+worker costs one requeue instead of the whole sweep.
 """
 
 from __future__ import annotations
@@ -33,16 +51,21 @@ from __future__ import annotations
 import concurrent.futures
 import functools
 import logging
+import multiprocessing
+import os
 import pickle
 import time
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.exec.cache import ResultCache
 from repro.exec.jobs import SimJob, validate_jobs
 from repro.sim.results import SimulationResult
 from repro.sim.run import simulate
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.fleet import FleetCollector
 
 #: Exceptions that indict the pool machinery rather than the job itself;
 #: jobs failing this way are retried serially in-process. AttributeError
@@ -51,6 +74,22 @@ from repro.sim.run import simulate
 #: types just gets one redundant serial retry with the same outcome.
 _POOL_FAILURES = (BrokenProcessPool, pickle.PicklingError, OSError,
                   AttributeError, TypeError)
+
+#: Environment override of the pool's multiprocessing start method.
+START_METHOD_ENV = "REPRO_EXEC_START_METHOD"
+
+#: Environment override of the derived wait bound's floor (seconds).
+WAIT_FLOOR_ENV = "REPRO_EXEC_WAIT_FLOOR_S"
+
+#: Default floor of the derived pool wait bound. Generous on purpose:
+#: it exists to catch pool deadlocks, not slow jobs.
+DEFAULT_WAIT_FLOOR_S = 120.0
+
+#: Derived bound = max(floor, this factor x slowest observed job wall).
+_WAIT_WALL_FACTOR = 20.0
+
+#: Poll period of the pool wait loop (also bounds stall-requeue latency).
+_POLL_S = 0.05
 
 logger = logging.getLogger(__name__)
 
@@ -102,12 +141,48 @@ def _describe(exc: BaseException) -> str:
     return f"{type(exc).__name__}: {exc}"
 
 
+def executor_mp_context():
+    """The multiprocessing context the pool should use, or ``None``.
+
+    ``None`` means "the platform default". ``REPRO_EXEC_START_METHOD``
+    selects an explicit start method (``spawn``, ``forkserver``,
+    ``fork``); an invalid value is ignored with a warning rather than
+    failing the sweep.
+    """
+    name = os.environ.get(START_METHOD_ENV, "").strip()
+    if not name:
+        return None
+    try:
+        return multiprocessing.get_context(name)
+    except ValueError:
+        logger.warning(
+            "ignoring %s=%r (valid start methods: %s)", START_METHOD_ENV,
+            name, ", ".join(multiprocessing.get_all_start_methods()))
+        return None
+
+
+def _wait_floor_s() -> float:
+    """The derived wait bound's floor (env-overridable, for tests)."""
+    raw = os.environ.get(WAIT_FLOOR_ENV, "").strip()
+    if raw:
+        try:
+            value = float(raw)
+        except ValueError:
+            value = -1.0
+        if value > 0:
+            return value
+        logger.warning("ignoring %s=%r (want a positive number of "
+                       "seconds)", WAIT_FLOOR_ENV, raw)
+    return DEFAULT_WAIT_FLOOR_S
+
+
 def run_many(
     jobs: Iterable[SimJob],
     max_workers: int | None = None,
     cache: ResultCache | None = None,
     timeout_s: float | None = None,
     worker: Callable[[SimJob], SimulationResult] | None = None,
+    fleet: "FleetCollector | None" = None,
 ) -> list[JobOutcome]:
     """Run many simulations, possibly in parallel, possibly cached.
 
@@ -119,11 +194,17 @@ def run_many(
         cache: optional :class:`~repro.exec.cache.ResultCache`; hits skip
             execution entirely and fresh results are stored back. ``None``
             disables all cache reads **and** writes.
-        timeout_s: per-job wait bound for pool execution (see module
-            docstring); ``None`` waits indefinitely.
+        timeout_s: explicit per-job wait bound for pool execution; an
+            overrunning job is marked failed and its result abandoned.
+            ``None`` (default) applies the generous *derived* bound
+            instead, which downgrades overrunning jobs to the serial
+            path rather than failing them (see module docstring).
         worker: override of the job body, mainly for fault-injection
             tests; must be picklable for pool execution (a module-level
             function). Defaults to running :func:`repro.simulate`.
+        fleet: optional :class:`~repro.obs.fleet.FleetCollector`; pool
+            workers then stream progress/trace/audit events to it and
+            its watchdog can requeue stalled jobs onto the serial path.
 
     Returns:
         One :class:`JobOutcome` per input job, in input order. Identical
@@ -135,6 +216,7 @@ def run_many(
     """
     jobs = list(jobs)
     validate_jobs(jobs)
+    default_body = worker is None
     worker = worker or _execute
     timed = functools.partial(_timed_call, worker)
 
@@ -151,28 +233,46 @@ def run_many(
     walls: dict[str, float] = {}
     cached: set[str] = set()
 
+    if fleet is not None:
+        fleet.start()
+        fleet.expect(len(order))
+        for key in order:
+            fleet.note_submitted(key, first_job[key])
+
     if cache is not None:
         for key in order:
             hit = cache.get(key)
             if hit is not None:
                 results[key] = hit
                 cached.add(key)
+                if fleet is not None:
+                    fleet.note_cache_hit(key, first_job[key])
 
     pending = [key for key in order if key not in results]
 
     def run_serially(key: str) -> None:
+        if fleet is not None:
+            fleet.note_serial_start(key)
         try:
             results[key], walls[key] = timed(first_job[key])
         except Exception as exc:
             errors[key] = _describe(exc)
+        if fleet is not None:
+            fleet.note_serial_finish(key, key in results,
+                                     errors.get(key),
+                                     walls.get(key, 0.0))
 
-    if len(pending) <= 1 or not max_workers or max_workers <= 1:
-        for key in pending:
-            run_serially(key)
-    else:
-        _run_pool(pending, first_job, timed,
-                  min(max_workers, len(pending)), timeout_s,
-                  results, errors, walls, run_serially)
+    try:
+        if len(pending) <= 1 or not max_workers or max_workers <= 1:
+            for key in pending:
+                run_serially(key)
+        else:
+            _run_pool(pending, first_job, timed, worker, default_body,
+                      min(max_workers, len(pending)), timeout_s,
+                      results, errors, walls, run_serially, fleet)
+    finally:
+        if fleet is not None:
+            fleet.quiesce()
 
     if cache is not None:
         for key in pending:
@@ -197,21 +297,36 @@ def _run_pool(
     pending: Sequence[str],
     first_job: dict[str, SimJob],
     timed: Callable[[SimJob], tuple[SimulationResult, float]],
+    worker: Callable[[SimJob], SimulationResult],
+    default_body: bool,
     max_workers: int,
     timeout_s: float | None,
     results: dict[str, SimulationResult],
     errors: dict[str, str],
     walls: dict[str, float],
     run_serially: Callable[[str], None],
+    fleet: "FleetCollector | None",
 ) -> None:
     """Fan ``pending`` out over a process pool, filling results/errors.
 
     Any pool-machinery failure (see :data:`_POOL_FAILURES`) downgrades
-    the affected and remaining jobs to the serial path.
+    the affected and remaining jobs to the serial path. The wait loop
+    polls with :func:`concurrent.futures.wait` so it can, between
+    completions: record when each job actually starts running, expire
+    jobs past their explicit timeout or derived wait bound, and requeue
+    jobs the fleet watchdog has declared stalled.
     """
+    kwargs: dict = {"max_workers": max_workers}
+    context = executor_mp_context()
+    if context is not None:
+        kwargs["mp_context"] = context
+    if fleet is not None:
+        from repro.obs.fleet import fleet_worker_init
+
+        kwargs["initializer"] = fleet_worker_init
+        kwargs["initargs"] = fleet.initargs()
     try:
-        executor = concurrent.futures.ProcessPoolExecutor(
-            max_workers=max_workers)
+        executor = concurrent.futures.ProcessPoolExecutor(**kwargs)
     except _POOL_FAILURES + (RuntimeError,) as exc:
         logger.warning("process pool unavailable (%s); running %d jobs "
                        "serially", _describe(exc), len(pending))
@@ -219,36 +334,117 @@ def _run_pool(
             run_serially(key)
         return
 
+    def submit(key: str):
+        if fleet is not None:
+            from repro.obs.fleet import fleet_timed_call
+
+            return executor.submit(fleet_timed_call, worker,
+                                   first_job[key], key, default_body)
+        return executor.submit(timed, first_job[key])
+
     pool_broken = False
-    with executor:
+    abandoned = False  # a running worker's result was given up on
+    waiting: dict[str, concurrent.futures.Future] = {}
+    submitted_at: dict[str, float] = {}
+    started_at: dict[str, float] = {}
+    try:
         try:
-            futures = {key: executor.submit(timed, first_job[key])
-                       for key in pending}
+            for key in pending:
+                waiting[key] = submit(key)
+                submitted_at[key] = time.monotonic()
         except _POOL_FAILURES as exc:
             logger.warning("pool submission failed (%s); running %d jobs "
                            "serially", _describe(exc), len(pending))
-            for key in pending:
-                run_serially(key)
-            return
-        for key in pending:
+            pool_broken = True
+            for future in waiting.values():
+                future.cancel()
+            waiting.clear()
+
+        wait_floor = _wait_floor_s()
+        max_wall = 0.0
+        last_done = time.monotonic()
+
+        while waiting and not pool_broken:
+            done, _ = concurrent.futures.wait(
+                list(waiting.values()), timeout=_POLL_S,
+                return_when=concurrent.futures.FIRST_COMPLETED)
+            now = time.monotonic()
+            for key in [k for k, f in waiting.items() if f in done]:
+                future = waiting.pop(key)
+                last_done = now
+                try:
+                    results[key], walls[key] = future.result()
+                    max_wall = max(max_wall, walls[key])
+                except _POOL_FAILURES as exc:
+                    logger.warning("pool broke (%s); downgrading "
+                                   "remaining jobs to serial execution",
+                                   _describe(exc))
+                    pool_broken = True
+                    run_serially(key)
+                except concurrent.futures.CancelledError:
+                    run_serially(key)
+                except Exception as exc:
+                    errors[key] = _describe(exc)
             if pool_broken:
-                run_serially(key)
-                continue
-            try:
-                results[key], walls[key] = futures[key].result(
-                    timeout=timeout_s)
-            except concurrent.futures.TimeoutError:
-                logger.warning("job %s timed out after %gs", key[:12],
-                               timeout_s)
-                errors[key] = (f"timed out after {timeout_s:g}s "
-                               "(result abandoned)")
-                futures[key].cancel()
-            except _POOL_FAILURES as exc:
-                logger.warning("pool broke (%s); downgrading remaining "
-                               "jobs to serial execution", _describe(exc))
-                pool_broken = True
-                run_serially(key)
-            except Exception as exc:
-                errors[key] = _describe(exc)
+                break
+
+            for key, future in waiting.items():
+                if key not in started_at and future.running():
+                    started_at[key] = now
+
+            if fleet is not None:
+                for key in fleet.take_stalled():
+                    future = waiting.pop(key, None)
+                    if future is None:
+                        continue  # completed while being flagged
+                    if not future.cancel():
+                        abandoned = True
+                    fleet.note_requeued(key)
+                    run_serially(key)
+
+            # A queued job's wait clock starts when the pool last made
+            # progress — it could not have started any earlier.
+            def wait_ref(key: str) -> float:
+                return started_at.get(
+                    key, max(submitted_at[key], last_done))
+
+            if timeout_s is not None:
+                for key in list(waiting):
+                    if now - wait_ref(key) <= timeout_s:
+                        continue
+                    future = waiting.pop(key)
+                    logger.warning("job %s timed out after %gs", key[:12],
+                                   timeout_s)
+                    errors[key] = (f"timed out after {timeout_s:g}s "
+                                   "(result abandoned)")
+                    if not future.cancel():
+                        abandoned = True
+                    if fleet is not None:
+                        fleet.note_failed(key, errors[key])
+            else:
+                bound = max(wait_floor, _WAIT_WALL_FACTOR * max_wall)
+                for key in list(waiting):
+                    if now - wait_ref(key) <= bound:
+                        continue
+                    future = waiting.pop(key)
+                    logger.warning(
+                        "job %s exceeded the %.0fs pool wait bound; "
+                        "retrying it serially", key[:12], bound)
+                    if not future.cancel():
+                        abandoned = True
+                    if fleet is not None:
+                        fleet.note_requeued(key)
+                    run_serially(key)
+
         if pool_broken:
-            executor.shutdown(wait=False, cancel_futures=True)
+            for future in waiting.values():
+                future.cancel()
+            waiting.clear()
+            for key in pending:
+                if key not in results and key not in errors:
+                    run_serially(key)
+    finally:
+        # Abandoned workers may be wedged mid-job: don't block shutdown
+        # on them (their processes are reaped at interpreter exit).
+        executor.shutdown(wait=not abandoned,
+                          cancel_futures=abandoned or pool_broken)

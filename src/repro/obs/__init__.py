@@ -31,6 +31,13 @@ The observability layer of the simulator:
   :mod:`repro.obs.serve` + :mod:`repro.obs.dashboard` put an HTTP
   dashboard on top (``repro watch``). Telemetry-enabled runs stay
   bit-identical in energy.
+* **fleet** (:mod:`repro.obs.fleet`) — cross-process observability for
+  :func:`repro.exec.run_many` fan-outs: pool workers stream
+  started/heartbeat/finished events, ring-buffered trace spans, and
+  audit rollups to a parent-side :class:`FleetCollector`, whose
+  heartbeat watchdog requeues stalled jobs onto the serial path and
+  whose outputs are a merged fleet Perfetto trace, a sweep-level
+  :class:`FleetReport`, and the live ``repro sweep --watch`` dashboard.
 
 See ``docs/OBSERVABILITY.md`` for the event schema and a Perfetto
 walkthrough.
@@ -53,11 +60,20 @@ from repro.obs.events import (
     TRACK_BUS,
     TRACK_CHIP,
     TRACK_CONTROLLER,
+    TRACK_FLEET,
     TRACK_PROFILE,
     TRACK_SIM,
+    TRACK_WORKER,
     Event,
     bus_track,
     chip_track,
+    worker_track,
+)
+from repro.obs.fleet import (
+    FleetCollector,
+    FleetConfig,
+    FleetReport,
+    FleetStall,
 )
 from repro.obs.perf import (
     PROFILE_ENV,
@@ -110,7 +126,11 @@ __all__ = [
     # events
     "Event", "PH_SPAN", "PH_INSTANT", "PH_COUNTER",
     "TRACK_CHIP", "TRACK_BUS", "TRACK_CONTROLLER", "TRACK_SIM",
-    "TRACK_PROFILE", "TRACK_AUDIT", "chip_track", "bus_track",
+    "TRACK_PROFILE", "TRACK_AUDIT", "TRACK_FLEET", "TRACK_WORKER",
+    "chip_track", "bus_track", "worker_track",
+    # fleet (cross-process sweep observability; repro.obs.serve's
+    # FleetServer stays lazy alongside the telemetry dashboard)
+    "FleetCollector", "FleetConfig", "FleetReport", "FleetStall",
     # audit
     "Auditor", "AuditReport", "AuditViolation", "audit_events",
     "audit_result", "audit_summary", "write_audit_report",

@@ -102,6 +102,90 @@ def render_panels(snapshot: TelemetrySnapshot,
     return "".join(parts)
 
 
+def _fmt_eta(seconds: float | None) -> str:
+    if seconds is None:
+        return "&mdash;"
+    if seconds >= 90:
+        return f"{seconds / 60:.1f} min"
+    return f"{seconds:.0f} s"
+
+
+def render_fleet_panels(snapshot: dict) -> str:
+    """The auto-refreshed ``#panels`` fragment of the fleet dashboard.
+
+    ``snapshot`` is :meth:`~repro.obs.fleet.FleetCollector.snapshot`:
+    sweep totals, throughput, per-worker rows, stragglers, and stalls.
+    """
+    done, total = snapshot.get("done", 0), snapshot.get("total", 0)
+    finished = snapshot.get("finished", False)
+    parts = ['<div id="panels">']
+    state = "finished" if finished else "running"
+    parts.append(
+        f'<p class="meta">{state} &middot; {done}/{total} jobs &middot; '
+        f'elapsed {snapshot.get("elapsed_s", 0.0):.1f}s &middot; '
+        f'ETA {_fmt_eta(snapshot.get("eta_s"))} &middot; '
+        f'stall bound {snapshot.get("stall_bound_s", 0.0):.0f}s</p>')
+    parts.append('<div class="grid">')
+    cells = (
+        ("Jobs done", f"{done} / {total}"),
+        ("Running", f'{snapshot.get("running", 0)}'),
+        ("Jobs / s", f'{snapshot.get("jobs_per_s", 0.0):.2f}'),
+        ("Cache hit rate", f'{snapshot.get("cache_hit_rate", 0.0):.0%}'),
+        ("Failed", f'{snapshot.get("failed", 0)}'),
+        ("Audit violations", f'{snapshot.get("violations", 0)}'),
+        ("Stalls", f'{len(snapshot.get("stalls", []))}'),
+    )
+    for title, value in cells:
+        parts.append(f'<div class="panel"><h3>{html.escape(title)}</h3>'
+                     f'<div class="latest">{value}</div></div>')
+    parts.append('</div>')
+
+    workers = snapshot.get("workers", [])
+    parts.append('<h3>Workers</h3><table class="fleet">'
+                 '<tr><th>slot</th><th>pid</th><th>state</th>'
+                 '<th>jobs done</th><th>busy (s)</th><th>current job</th>'
+                 '<th>idle (s)</th></tr>')
+    for row in workers:
+        cls = ' class="alarm"' if row.get("state") == "stalled" else ""
+        label = "serial (parent)" if row.get("slot") == 0 \
+            else f'worker {row.get("slot")}'
+        parts.append(
+            f'<tr{cls}><td>{html.escape(label)}</td>'
+            f'<td>{row.get("pid", "")}</td>'
+            f'<td>{html.escape(str(row.get("state", "")))}</td>'
+            f'<td>{row.get("jobs_done", 0)}</td>'
+            f'<td>{row.get("wall_s", 0.0):.2f}</td>'
+            f'<td>{html.escape(str(row.get("busy_tag") or ""))}</td>'
+            f'<td>{row.get("idle_s", 0.0):.1f}</td></tr>')
+    if not workers:
+        parts.append('<tr><td colspan="7" class="meta">no workers seen '
+                     'yet</td></tr>')
+    parts.append('</table>')
+
+    stragglers = snapshot.get("stragglers", [])
+    if stragglers:
+        parts.append('<h3>Stragglers</h3><table class="fleet">'
+                     '<tr><th>job</th><th>worker</th>'
+                     '<th>running (s)</th></tr>')
+        for row in stragglers:
+            parts.append(
+                f'<tr><td>{html.escape(str(row.get("tag") or row.get("key", "")))}</td>'
+                f'<td>{row.get("worker", "?")}</td>'
+                f'<td>{row.get("running_s", 0.0):.1f}</td></tr>')
+        parts.append('</table>')
+
+    stalls = snapshot.get("stalls", [])
+    if stalls:
+        parts.append(f'<h3 class="alarm">Stalls ({len(stalls)})</h3>'
+                     '<ul class="anomalies">')
+        for stall in stalls[-20:]:
+            parts.append(
+                f'<li>{html.escape(str(stall.get("diagnosis", "")))}</li>')
+        parts.append('</ul>')
+    parts.append('</div>')
+    return "".join(parts)
+
+
 _CSS = """
 body { font-family: system-ui, sans-serif; margin: 2em auto;
        max-width: 72em; color: #1f1f1f; }
@@ -117,6 +201,10 @@ h1 { font-size: 1.3em; } h3 { font-size: .85em; margin: 0 0 .2em; }
 #log { font-family: monospace; font-size: .75em; color: #555;
        white-space: pre-wrap; max-height: 10em; overflow-y: auto; }
 footer { margin-top: 3em; color: #888; font-size: .75em; }
+table.fleet { border-collapse: collapse; font-size: .85em; }
+table.fleet th, table.fleet td { border: 1px solid #ddd;
+       padding: .25em .6em; text-align: left;
+       font-variant-numeric: tabular-nums; }
 """
 
 
@@ -169,5 +257,54 @@ try {{
 """
 
 
+def render_fleet_page(title: str, refresh_ms: int = 1000) -> str:
+    """The fleet dashboard shell served at ``/`` by ``sweep --watch``.
+
+    Same shape as :func:`render_page` — a polled server-rendered
+    ``#panels`` fragment plus an SSE event log — but the log tails the
+    fleet feed (snapshots and ``fleet.stall`` diagnoses).
+    """
+    return f"""<!doctype html>
+<html lang="en"><head><meta charset="utf-8">
+<title>{html.escape(title)}</title>
+<style>{_CSS}</style></head>
+<body>
+<h1>repro sweep &mdash; {html.escape(title)}</h1>
+<div id="panels"><p class="meta">loading&hellip;</p></div>
+<h3>Event stream</h3>
+<div id="log"></div>
+<footer>Endpoints: <code>/panels</code> &middot; <code>/fleet.json</code>
+&middot; <code>/events</code> (SSE). See docs/OBSERVABILITY.md.</footer>
+<script>
+async function poll() {{
+  try {{
+    const response = await fetch('/panels');
+    if (response.ok) {{
+      document.getElementById('panels').outerHTML = await response.text();
+    }}
+  }} catch (err) {{ /* server gone: sweep finished */ }}
+}}
+setInterval(poll, {refresh_ms});
+poll();
+const log = document.getElementById('log');
+try {{
+  const source = new EventSource('/events');
+  const append = (line) => {{
+    log.textContent += line + '\\n';
+    log.scrollTop = log.scrollHeight;
+  }};
+  source.addEventListener('stall', (e) => append('stall ' + e.data));
+  source.addEventListener('fleet', (e) => {{
+    const snap = JSON.parse(e.data);
+    append('fleet ' + snap.done + '/' + snap.total + ' jobs, ' +
+           snap.jobs_per_s.toFixed(2) + ' jobs/s');
+  }});
+}} catch (err) {{ /* no SSE: polling still works */ }}
+</script>
+</body></html>
+"""
+
+
 __all__ = ["SCALAR_PANELS", "MAX_POINTS", "decimate", "low_power_share",
-           "render_panels", "render_page"]
+           "render_panels", "render_page", "render_fleet_panels",
+           "render_fleet_page"]

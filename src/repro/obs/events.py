@@ -38,6 +38,10 @@ TRACK_CONTROLLER = "controller"
 TRACK_SIM = "sim"
 TRACK_PROFILE = "profile"
 TRACK_AUDIT = "audit"
+#: Fleet (cross-process sweep) tracks: the scheduling lane and one row
+#: per pool worker (slot 0 is the parent's serial fallback path).
+TRACK_FLEET = "fleet"
+TRACK_WORKER = "worker"
 
 
 @dataclass(slots=True)
@@ -82,3 +86,8 @@ def chip_track(chip_id: int) -> str:
 def bus_track(bus_id: int) -> str:
     """The track name of one I/O bus."""
     return f"{TRACK_BUS}:{bus_id}"
+
+
+def worker_track(slot: int) -> str:
+    """The track name of one fleet worker slot (0 = serial fallback)."""
+    return f"{TRACK_WORKER}:{slot}"

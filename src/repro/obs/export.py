@@ -34,7 +34,9 @@ from repro.obs.events import (
     TRACK_AUDIT,
     TRACK_BUS,
     TRACK_CHIP,
+    TRACK_FLEET,
     TRACK_PROFILE,
+    TRACK_WORKER,
     Event,
 )
 
@@ -44,6 +46,7 @@ _PID_IO = 2
 _PID_POLICY = 3
 _PID_PROFILE = 4
 _PID_AUDIT = 5
+_PID_FLEET = 6
 
 #: The time buckets a residency span may claim (TimeBreakdown fields).
 RESIDENCY_BUCKETS = ("serving_dma", "serving_proc", "idle_dma",
@@ -63,6 +66,12 @@ def _track_key(track: str) -> tuple[int, int, str]:
     if kind == TRACK_AUDIT:
         rank = int(index) if index.isdigit() else 0
         return (_PID_AUDIT, rank, f"waterfall #{rank}" if index else "audit")
+    if kind == TRACK_FLEET:
+        return (_PID_FLEET, 0, "sweep lane")
+    if kind == TRACK_WORKER and index.isdigit():
+        slot = int(index)
+        label = "serial (parent)" if slot == 0 else f"worker {slot}"
+        return (_PID_FLEET, slot + 1, label)
     return (_PID_POLICY, 0, track)
 
 
@@ -115,7 +124,7 @@ def chrome_trace(events: Iterable[Event],
 
     process_names = {_PID_MEMORY: "memory chips", _PID_IO: "I/O buses",
                      _PID_POLICY: "policies", _PID_PROFILE: "profiler",
-                     _PID_AUDIT: "audit waterfalls"}
+                     _PID_AUDIT: "audit waterfalls", _PID_FLEET: "fleet"}
     for pid in sorted({pid for pid, _, _ in tracks.values()}):
         trace_events.append({
             "name": "process_name", "ph": "M", "pid": pid, "tid": 0,

@@ -1,0 +1,966 @@
+"""Cross-process observability for the exec fan-out.
+
+:func:`repro.exec.run_many` workers normally run blind: their traces and
+audit results die at the process boundary, and a stalled worker is a
+silent deadlock. This module closes that gap with three pieces:
+
+* **Worker side** — :func:`fleet_worker_init` (a pool initializer) hands
+  every worker the collector's queue; :func:`fleet_timed_call` wraps the
+  job body and streams structured progress events back over it:
+  ``job.started``, periodic ``job.heartbeat`` (from a tiny daemon
+  thread), and ``job.finished`` carrying the job's ring-buffered trace
+  spans, its audit-violation rollup, and an optional telemetry summary.
+  Messages are plain picklable dicts; a worker that cannot post (parent
+  gone) drops the message rather than failing the job.
+
+* **Collector** — :class:`FleetCollector` owns the queue and drains it
+  on a daemon thread in the submitting process. It tracks per-worker and
+  per-job state, and a watchdog on the heartbeat stream detects stalled
+  workers: no heartbeat for a bound derived from observed job wall-times
+  flags the job, logs a ``fleet.stall`` diagnosis naming it, and hands
+  the key back to the runner (:meth:`take_stalled`) for cancellation and
+  serial requeue. Live state fans out through an owned
+  :class:`~repro.obs.telemetry.SseBroker` so ``repro sweep --watch`` can
+  serve a fleet dashboard (:mod:`repro.obs.serve`).
+
+* **Outputs** — :meth:`FleetCollector.report` aggregates everything into
+  a :class:`FleetReport` (attached to bench records), and
+  :meth:`FleetCollector.chrome_trace` merges the per-job spans into one
+  fleet-wide Perfetto trace: a sweep lane with scheduling/queueing/cache
+  annotations plus one track per worker, with each job's simulation
+  spans rebased onto its wall-clock interval and stalled jobs flagged.
+
+Span capture attaches a :class:`~repro.obs.tracer.RingTracer` to the
+default job body — traced runs are bit-identical (a tier-1 gated
+guarantee), so fleet-observed sweeps return byte-identical results to
+serial ones. Per-job telemetry sampling is **opt-in**
+(``sample_telemetry``): the sampler can perturb the fluid engine's
+head-delay float rounding at ULP scale, which would break that
+byte-identity.
+
+Timestamps ride ``time.monotonic()``: on Linux ``CLOCK_MONOTONIC`` is
+system-wide, so worker and parent clocks are directly comparable.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import math
+import os
+import queue as queue_module
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro.errors import ConfigurationError
+from repro.obs.events import (
+    PH_INSTANT,
+    PH_SPAN,
+    TRACK_FLEET,
+    Event,
+    worker_track,
+)
+from repro.obs.telemetry import SseBroker
+
+logger = logging.getLogger(__name__)
+
+#: The fleet trace's clock: events carry microsecond timestamps, so the
+#: exporter's cycles->us conversion must be the identity.
+FLEET_TRACE_HZ = 1e6
+
+
+# ---------------------------------------------------------------------------
+# Configuration
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Knobs for the worker emitters and the collector watchdog.
+
+    Attributes:
+        heartbeat_s: period of the per-job worker heartbeat thread.
+        poll_s: collector queue-poll period (bounds watchdog latency).
+        stall_after_s: absolute no-heartbeat bound before a job is
+            declared stalled; ``None`` derives one from observed job
+            wall-times (see :meth:`FleetCollector.stall_bound`).
+        stall_floor_s: lower bound of the derived stall bound.
+        stall_wall_factor: derived bound = this factor times the largest
+            finished job wall-time (never below the floor or 20
+            heartbeats).
+        capture_spans: attach a ring tracer to default job bodies and
+            ship the retained spans in ``job.finished``.
+        span_capacity: ring capacity per job (and the shipped-span cap).
+        sample_telemetry: also attach a per-job
+            :class:`~repro.obs.telemetry.TelemetrySampler` and ship a
+            summary. Off by default: sampling can perturb fluid-engine
+            float rounding at ULP scale, breaking sweep byte-identity.
+        inject_stall_tag: fault injection — a worker whose job tag
+            equals this freezes (sleeps without heartbeats) for
+            ``inject_stall_s`` before running, so tests and CI can prove
+            the watchdog detects, attributes, and recovers the stall.
+        inject_stall_s: how long the injected freeze lasts.
+    """
+
+    heartbeat_s: float = 0.25
+    poll_s: float = 0.2
+    stall_after_s: float | None = None
+    stall_floor_s: float = 5.0
+    stall_wall_factor: float = 8.0
+    capture_spans: bool = True
+    span_capacity: int = 512
+    sample_telemetry: bool = False
+    inject_stall_tag: str = ""
+    inject_stall_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_s <= 0 or self.poll_s <= 0:
+            raise ConfigurationError(
+                "heartbeat_s and poll_s must be positive")
+        if self.stall_after_s is not None and self.stall_after_s <= 0:
+            raise ConfigurationError("stall_after_s must be positive")
+        if self.stall_floor_s <= 0 or self.stall_wall_factor <= 0:
+            raise ConfigurationError(
+                "stall_floor_s and stall_wall_factor must be positive")
+        if self.span_capacity < 1:
+            raise ConfigurationError("span_capacity must be at least 1")
+        if self.inject_stall_s < 0:
+            raise ConfigurationError("inject_stall_s must be >= 0")
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+#: (queue, opts) installed by the pool initializer in each worker.
+_WORKER_CTX: tuple[Any, dict[str, Any]] | None = None
+
+
+def fleet_worker_init(fleet_queue, opts: Mapping[str, Any]) -> None:
+    """Process-pool initializer: bind this worker to the collector."""
+    global _WORKER_CTX
+    _WORKER_CTX = (fleet_queue, dict(opts))
+
+
+def _post(fleet_queue, payload: dict[str, Any]) -> None:
+    """Ship one event; observability must never fail the job."""
+    try:
+        fleet_queue.put(payload)
+    except Exception:  # parent gone / queue closed
+        pass
+
+
+def _heartbeat_loop(fleet_queue, pid: int, key: str,
+                    stop: threading.Event, period_s: float) -> None:
+    started = time.monotonic()
+    while not stop.wait(period_s):
+        _post(fleet_queue, {
+            "kind": "job.heartbeat", "worker": pid, "key": key,
+            "mono": time.monotonic(),
+            "busy_s": time.monotonic() - started,
+        })
+
+
+def _observed_body(job, opts: Mapping[str, Any]):
+    """Run the default job body with a ring tracer (and optional
+    telemetry sampler) attached; returns (result, spans_payload)."""
+    from repro.obs.tracer import RingTracer
+    from repro.sim.run import simulate
+
+    capacity = int(opts.get("span_capacity", 512))
+    tracer = RingTracer(capacity=capacity)
+    sampler = None
+    if opts.get("sample_telemetry"):
+        from repro.obs.telemetry import TelemetrySampler
+
+        sampler = TelemetrySampler()
+    result = simulate(job.trace, config=job.config,
+                      technique=job.technique, engine=job.engine,
+                      mu=job.mu, cp_limit=job.cp_limit, seed=job.seed,
+                      tracer=tracer, telemetry=sampler)
+    payload: dict[str, Any] = {
+        "spans": [event.as_dict() for event in tracer.events],
+        "spans_dropped": tracer.dropped,
+        "duration_cycles": float(result.duration_cycles),
+    }
+    if sampler is not None:
+        payload["telemetry"] = {
+            "samples": sampler.samples_captured,
+            "anomalies": len(sampler.anomalies),
+        }
+    return result, payload
+
+
+def fleet_timed_call(worker: Callable, job, key: str,
+                     default_body: bool):
+    """The fleet-instrumented pool job body: run, time, and report.
+
+    Mirrors :func:`repro.exec.runner._timed_call` (returns ``(result,
+    wall_s)`` and re-raises job exceptions unchanged) while streaming
+    ``job.started`` / ``job.heartbeat`` / ``job.finished`` to the
+    collector. ``default_body`` marks the stock simulate() body, which
+    is re-run with a ring tracer attached so spans can be shipped.
+    """
+    ctx = _WORKER_CTX
+    if ctx is None:  # pool built without the fleet initializer
+        start = time.perf_counter()
+        result = worker(job)
+        return result, time.perf_counter() - start
+    fleet_queue, opts = ctx
+    pid = os.getpid()
+    tag = getattr(job, "label", None) or job.technique
+    _post(fleet_queue, {
+        "kind": "job.started", "worker": pid, "key": key, "tag": tag,
+        "technique": job.technique, "mono": time.monotonic(),
+    })
+    stall_s = float(opts.get("inject_stall_s", 0.0))
+    if stall_s > 0 and tag == opts.get("inject_stall_tag"):
+        # Freeze *without* heartbeats so the watchdog sees a dead worker.
+        time.sleep(stall_s)
+    stop = threading.Event()
+    beat = threading.Thread(
+        target=_heartbeat_loop,
+        args=(fleet_queue, pid, key, stop,
+              float(opts.get("heartbeat_s", 0.25))),
+        name="fleet-heartbeat", daemon=True)
+    beat.start()
+    start = time.perf_counter()
+    try:
+        if default_body and opts.get("capture_spans", True):
+            result, observed = _observed_body(job, opts)
+        else:
+            result = worker(job)
+            observed = {}
+        wall = time.perf_counter() - start
+    except BaseException as exc:
+        stop.set()
+        _post(fleet_queue, {
+            "kind": "job.finished", "worker": pid, "key": key,
+            "mono": time.monotonic(), "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+            "wall_s": time.perf_counter() - start,
+        })
+        raise
+    stop.set()
+    from repro.obs.audit import audit_result
+
+    violations: dict[str, int] = {}
+    for violation in audit_result(result):
+        violations[violation.kind] = violations.get(violation.kind, 0) + 1
+    finished: dict[str, Any] = {
+        "kind": "job.finished", "worker": pid, "key": key,
+        "mono": time.monotonic(), "ok": True, "error": None,
+        "wall_s": wall, "violations": violations,
+        "energy_j": float(result.energy_joules),
+        "requests": float(result.requests),
+    }
+    finished.update(observed)
+    _post(fleet_queue, finished)
+    return result, wall
+
+
+# ---------------------------------------------------------------------------
+# Collector state
+# ---------------------------------------------------------------------------
+
+@dataclass
+class JobRecord:
+    """Everything the collector knows about one unique job key."""
+
+    key: str
+    tag: str = ""
+    technique: str = ""
+    submitted_mono: float | None = None
+    started_mono: float | None = None
+    finished_mono: float | None = None
+    last_seen_mono: float | None = None
+    worker: int | None = None  # worker slot, 0 = serial parent
+    ok: bool | None = None
+    error: str | None = None
+    wall_s: float = 0.0
+    cached: bool = False
+    serial: bool = False
+    requeued: bool = False
+    stalled: bool = False
+    spans: list[dict[str, Any]] = field(default_factory=list)
+    spans_dropped: int = 0
+    duration_cycles: float = 0.0
+    violations: dict[str, int] = field(default_factory=dict)
+    energy_j: float | None = None
+    requests: float | None = None
+    telemetry: dict[str, Any] | None = None
+
+    @property
+    def running(self) -> bool:
+        return (self.started_mono is not None
+                and self.finished_mono is None
+                and not self.serial and not self.stalled)
+
+
+@dataclass
+class _WorkerState:
+    slot: int
+    pid: int
+    jobs_done: int = 0
+    wall_s: float = 0.0
+    busy_key: str | None = None
+    last_seen_mono: float = 0.0
+    stalled: bool = False
+
+
+@dataclass(frozen=True)
+class FleetStall:
+    """One detected worker stall, attributed to its job."""
+
+    key: str
+    tag: str
+    worker: int | None
+    silent_s: float
+    bound_s: float
+    diagnosis: str
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"key": self.key, "tag": self.tag, "worker": self.worker,
+                "silent_s": self.silent_s, "bound_s": self.bound_s,
+                "diagnosis": self.diagnosis}
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Sweep-level rollup of one fleet-observed ``run_many`` call."""
+
+    total: int
+    computed: int
+    cached: int
+    failed: int
+    serial: int
+    requeued: int
+    wall_s: float
+    jobs_per_s: float
+    cache_hit_rate: float
+    violations: dict[str, int]
+    stalls: tuple[FleetStall, ...]
+    workers: tuple[dict[str, Any], ...]
+    spans_merged: int
+    events_received: int
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "total": self.total, "computed": self.computed,
+            "cached": self.cached, "failed": self.failed,
+            "serial": self.serial, "requeued": self.requeued,
+            "wall_s": self.wall_s, "jobs_per_s": self.jobs_per_s,
+            "cache_hit_rate": self.cache_hit_rate,
+            "violations": dict(self.violations),
+            "stalls": [stall.as_dict() for stall in self.stalls],
+            "workers": [dict(row) for row in self.workers],
+            "spans_merged": self.spans_merged,
+            "events_received": self.events_received,
+        }
+
+    def render(self) -> str:
+        """Human-readable rollup; stall lines carry the greppable
+        ``fleet.stall:`` prefix CI keys on."""
+        lines = [
+            f"fleet: {self.total} job(s) — {self.computed} computed, "
+            f"{self.cached} cached, {self.failed} failed, "
+            f"{self.serial} serial, {self.requeued} requeued — in "
+            f"{self.wall_s:.2f}s ({self.jobs_per_s:.2f} jobs/s, cache "
+            f"hit rate {self.cache_hit_rate:.0%})"
+        ]
+        for row in self.workers:
+            lines.append(
+                f"  worker {row['slot']}"
+                f"{' (serial parent)' if row['slot'] == 0 else ''}: "
+                f"{row['jobs_done']} job(s), {row['wall_s']:.2f}s busy"
+                f"{' [stalled]' if row.get('stalled') else ''}")
+        if self.violations:
+            detail = ", ".join(f"{kind}: {count}" for kind, count
+                               in sorted(self.violations.items()))
+            lines.append(f"  violations: {detail}")
+        else:
+            lines.append("  violations: none")
+        for stall in self.stalls:
+            lines.append(stall.diagnosis)
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# The collector
+# ---------------------------------------------------------------------------
+
+class FleetCollector:
+    """Parent-side aggregator for the worker event stream.
+
+    Create one per ``run_many`` fan-out and pass it as ``fleet=``. The
+    runner calls :meth:`start`, the submission hooks, and
+    :meth:`quiesce`; the dashboard reads :meth:`snapshot` and subscribes
+    to :attr:`broker`; callers pull :meth:`report` /
+    :meth:`chrome_trace` afterwards.
+
+    ``clock`` is injectable for deterministic watchdog tests.
+    """
+
+    def __init__(self, config: FleetConfig | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.config = config or FleetConfig()
+        self._clock = clock
+        from repro.exec.runner import executor_mp_context
+        import multiprocessing
+
+        context = executor_mp_context() or multiprocessing.get_context()
+        self.queue = context.Queue()
+        self.broker = SseBroker()
+        self._lock = threading.RLock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.jobs: dict[str, JobRecord] = {}
+        self._job_order: list[str] = []
+        self._workers: dict[int, _WorkerState] = {}  # pid -> state
+        self.stalls: list[FleetStall] = []
+        self._stalled_pending: list[str] = []
+        self._max_wall_s = 0.0
+        self.total_expected = 0
+        self.started_mono = self._clock()
+        self.finished_mono: float | None = None
+        self.events_received = 0
+        self._last_published = 0.0
+
+    # --- pool wiring ------------------------------------------------------
+
+    def worker_opts(self) -> dict[str, Any]:
+        """The picklable knob dict shipped to every worker."""
+        return {
+            "heartbeat_s": self.config.heartbeat_s,
+            "capture_spans": self.config.capture_spans,
+            "span_capacity": self.config.span_capacity,
+            "sample_telemetry": self.config.sample_telemetry,
+            "inject_stall_tag": self.config.inject_stall_tag,
+            "inject_stall_s": self.config.inject_stall_s,
+        }
+
+    def initargs(self) -> tuple:
+        """``(initializer args)`` for the pool's :func:`fleet_worker_init`."""
+        return (self.queue, self.worker_opts())
+
+    # --- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the drain thread (idempotent)."""
+        with self._lock:
+            if self._thread is not None:
+                return
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._drain, name="fleet-collector", daemon=True)
+            self._thread.start()
+
+    def _drain(self) -> None:
+        while not self._stop.is_set():
+            try:
+                message = self.queue.get(timeout=self.config.poll_s)
+            except queue_module.Empty:
+                message = None
+            except (EOFError, OSError):  # queue torn down under us
+                break
+            if message is not None:
+                self.handle(message)
+                while True:  # drain bursts without watchdog latency
+                    try:
+                        self.handle(self.queue.get_nowait())
+                    except queue_module.Empty:
+                        break
+                    except (EOFError, OSError):
+                        return
+            self.check_stalls()
+
+    def quiesce(self, wait_s: float = 2.0) -> None:
+        """Flush and stop the drain thread at the end of a run.
+
+        Waits up to ``wait_s`` for started-but-unfinished jobs to report
+        in (the runner has already collected every result, so this only
+        covers queue latency), drains whatever is left synchronously,
+        and stops the thread. The collector stays readable — report,
+        snapshot, and trace all keep working — and the broker stays open
+        for a lingering dashboard.
+        """
+        deadline = self._clock() + wait_s
+        while self._clock() < deadline:
+            with self._lock:
+                inflight = any(record.running
+                               for record in self.jobs.values())
+            if not inflight:
+                break
+            time.sleep(min(0.05, self.config.poll_s))
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=max(1.0, 4 * self.config.poll_s))
+            self._thread = None
+        while True:
+            try:
+                self.handle(self.queue.get_nowait())
+            except (queue_module.Empty, EOFError, OSError):
+                break
+        with self._lock:
+            if self.finished_mono is None:
+                self.finished_mono = self._clock()
+        self._publish_snapshot(force=True)
+
+    def close(self) -> None:
+        """Tear down: quiesce, wake SSE subscribers, drop the queue."""
+        self.quiesce(wait_s=0.0)
+        self.broker.close()
+        try:
+            self.queue.close()
+        except (OSError, AttributeError):  # pragma: no cover
+            pass
+
+    # --- runner hooks (submitting process) --------------------------------
+
+    def _record(self, key: str) -> JobRecord:
+        record = self.jobs.get(key)
+        if record is None:
+            record = JobRecord(key=key)
+            self.jobs[key] = record
+            self._job_order.append(key)
+        return record
+
+    def expect(self, total: int) -> None:
+        with self._lock:
+            self.total_expected = int(total)
+
+    def note_submitted(self, key: str, job) -> None:
+        with self._lock:
+            record = self._record(key)
+            record.submitted_mono = self._clock()
+            record.tag = getattr(job, "label", None) or job.technique
+            record.technique = job.technique
+
+    def note_cache_hit(self, key: str, job) -> None:
+        now = self._clock()
+        with self._lock:
+            record = self._record(key)
+            record.tag = record.tag \
+                or getattr(job, "label", None) or job.technique
+            record.technique = record.technique or job.technique
+            if record.submitted_mono is None:
+                record.submitted_mono = now
+            record.cached = True
+            record.ok = True
+            record.finished_mono = now
+        self._publish_snapshot()
+
+    def note_serial_start(self, key: str) -> None:
+        now = self._clock()
+        with self._lock:
+            record = self._record(key)
+            record.serial = True
+            record.worker = 0
+            state = self._workers.setdefault(
+                0, _WorkerState(slot=0, pid=os.getpid()))
+            state.busy_key = key
+            state.last_seen_mono = now
+            if record.started_mono is None:
+                record.started_mono = now
+            record.last_seen_mono = now
+        self._publish_snapshot()
+
+    def note_serial_finish(self, key: str, ok: bool,
+                           error: str | None, wall_s: float) -> None:
+        now = self._clock()
+        with self._lock:
+            record = self._record(key)
+            record.serial = True
+            record.finished_mono = now
+            record.ok = ok
+            record.error = error
+            record.wall_s = wall_s
+            if wall_s > 0:
+                self._max_wall_s = max(self._max_wall_s, wall_s)
+            state = self._workers.get(0)
+            if state is not None:
+                state.busy_key = None
+                state.jobs_done += 1
+                state.wall_s += wall_s
+                state.last_seen_mono = now
+        self._publish_snapshot()
+
+    def note_requeued(self, key: str) -> None:
+        with self._lock:
+            record = self._record(key)
+            record.requeued = True
+
+    def note_failed(self, key: str, error: str) -> None:
+        """A job the runner gave up on (explicit timeout, abandoned)."""
+        now = self._clock()
+        with self._lock:
+            record = self._record(key)
+            record.finished_mono = now
+            record.ok = False
+            record.error = error
+        self._publish_snapshot()
+
+    # --- worker message handling ------------------------------------------
+
+    def handle(self, message: Mapping[str, Any]) -> None:
+        """Apply one worker event (public so tests can drive it)."""
+        if not isinstance(message, Mapping):
+            return
+        kind = message.get("kind")
+        key = message.get("key")
+        if not isinstance(key, str):
+            return
+        now = float(message.get("mono", self._clock()))
+        with self._lock:
+            self.events_received += 1
+            state = self._worker_state(message.get("worker"))
+            if state is not None:
+                state.last_seen_mono = max(state.last_seen_mono, now)
+            record = self._record(key)
+            record.last_seen_mono = max(record.last_seen_mono or 0.0, now)
+            if kind == "job.started":
+                record.started_mono = now
+                record.tag = message.get("tag", record.tag) or record.tag
+                record.technique = (message.get("technique")
+                                    or record.technique)
+                if state is not None:
+                    record.worker = state.slot
+                    state.busy_key = key
+            elif kind == "job.heartbeat":
+                pass  # last_seen bookkeeping above is the payload
+            elif kind == "job.finished":
+                record.finished_mono = now
+                record.ok = bool(message.get("ok"))
+                record.error = message.get("error")
+                record.wall_s = float(message.get("wall_s", 0.0))
+                if record.ok and record.wall_s > 0:
+                    self._max_wall_s = max(self._max_wall_s,
+                                           record.wall_s)
+                spans = message.get("spans")
+                if isinstance(spans, list):
+                    record.spans = spans
+                record.spans_dropped = int(
+                    message.get("spans_dropped", 0))
+                record.duration_cycles = float(
+                    message.get("duration_cycles", 0.0))
+                violations = message.get("violations")
+                if isinstance(violations, Mapping):
+                    record.violations = {str(k): int(v)
+                                         for k, v in violations.items()}
+                record.energy_j = message.get("energy_j")
+                record.requests = message.get("requests")
+                telemetry = message.get("telemetry")
+                if isinstance(telemetry, Mapping):
+                    record.telemetry = dict(telemetry)
+                if state is not None:
+                    if state.busy_key == key:
+                        state.busy_key = None
+                    state.jobs_done += 1
+                    state.wall_s += record.wall_s
+        self._publish_snapshot()
+
+    def _worker_state(self, pid) -> _WorkerState | None:
+        if not isinstance(pid, int):
+            return None
+        state = self._workers.get(pid)
+        if state is None:
+            slot = 1 + sum(1 for s in self._workers.values() if s.slot > 0)
+            state = _WorkerState(slot=slot, pid=pid)
+            self._workers[pid] = state
+        return state
+
+    # --- watchdog ---------------------------------------------------------
+
+    def stall_bound(self) -> float:
+        """Seconds of heartbeat silence before a running job is stalled.
+
+        Either the configured absolute bound, or one derived from the
+        observed job wall-times: generous (8x the slowest finished job)
+        but never below the floor or 20 heartbeat periods, so a cold
+        fleet with no finished jobs yet still has a sane bound.
+        """
+        if self.config.stall_after_s is not None:
+            return self.config.stall_after_s
+        return max(self.config.stall_floor_s,
+                   20.0 * self.config.heartbeat_s,
+                   self.config.stall_wall_factor * self._max_wall_s)
+
+    def check_stalls(self) -> list[FleetStall]:
+        """Scan running jobs for heartbeat silence; returns new stalls."""
+        fresh: list[FleetStall] = []
+        now = self._clock()
+        with self._lock:
+            bound = self.stall_bound()
+            for record in self.jobs.values():
+                if not record.running:
+                    continue
+                last = record.last_seen_mono or record.started_mono
+                silent = now - last
+                if silent <= bound:
+                    continue
+                record.stalled = True
+                diagnosis = (
+                    f"fleet.stall: job {record.tag or record.key[:12]} "
+                    f"(key {record.key[:12]}) on worker "
+                    f"{record.worker if record.worker is not None else '?'}"
+                    f" went silent for {silent:.1f}s (bound {bound:.1f}s)"
+                    " — cancelling and requeueing onto the serial path")
+                stall = FleetStall(
+                    key=record.key, tag=record.tag, worker=record.worker,
+                    silent_s=silent, bound_s=bound, diagnosis=diagnosis)
+                self.stalls.append(stall)
+                self._stalled_pending.append(record.key)
+                fresh.append(stall)
+                if record.worker is not None:
+                    for state in self._workers.values():
+                        if state.slot == record.worker:
+                            state.stalled = True
+                            if state.busy_key == record.key:
+                                state.busy_key = None
+        for stall in fresh:
+            logger.warning("%s", stall.diagnosis)
+            self.broker.publish("stall", json.dumps(stall.as_dict()))
+        if fresh:
+            self._publish_snapshot(force=True)
+        return fresh
+
+    def take_stalled(self) -> list[str]:
+        """Job keys newly declared stalled (each returned exactly once);
+        the runner cancels their futures and retries them serially."""
+        with self._lock:
+            out = self._stalled_pending
+            self._stalled_pending = []
+            return out
+
+    # --- live snapshot / dashboard ----------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """The live fleet state the dashboard renders."""
+        now = self._clock()
+        with self._lock:
+            records = list(self.jobs.values())
+            finished = [r for r in records if r.finished_mono is not None]
+            computed = [r for r in finished
+                        if r.ok and not r.cached]
+            cached = sum(1 for r in finished if r.cached)
+            failed = sum(1 for r in finished
+                         if r.ok is False and not r.requeued)
+            running = [r for r in records if r.running]
+            walls = [r.wall_s for r in computed if r.wall_s > 0]
+            mean_wall = (math.fsum(walls) / len(walls)) if walls else 0.0
+            busy = sum(1 for s in self._workers.values()
+                       if s.busy_key is not None and not s.stalled)
+            active = max(busy,
+                         sum(1 for s in self._workers.values()
+                             if s.slot > 0 and not s.stalled), 1)
+            total = max(self.total_expected, len(records))
+            remaining = max(0, total - len(finished))
+            eta_s = (remaining * mean_wall / active) if walls else None
+            end = self.finished_mono or now
+            elapsed = max(end - self.started_mono, 1e-9)
+            violations = sum(sum(r.violations.values()) for r in records)
+            workers = [{
+                "slot": s.slot, "pid": s.pid, "jobs_done": s.jobs_done,
+                "wall_s": s.wall_s,
+                "state": ("stalled" if s.stalled else
+                          "busy" if s.busy_key else "idle"),
+                "busy_tag": (self.jobs[s.busy_key].tag
+                             if s.busy_key in self.jobs else None),
+                "idle_s": max(0.0, now - s.last_seen_mono),
+            } for s in sorted(self._workers.values(),
+                              key=lambda s: s.slot)]
+            stragglers = sorted(
+                ({"tag": r.tag, "key": r.key[:12], "worker": r.worker,
+                  "running_s": now - (r.started_mono or now)}
+                 for r in running),
+                key=lambda row: -row["running_s"])[:8]
+            return {
+                "elapsed_s": elapsed,
+                "total": total,
+                "done": len(finished),
+                "computed": len(computed),
+                "cached": cached,
+                "failed": failed,
+                "running": len(running),
+                "jobs_per_s": len(finished) / elapsed,
+                "cache_hit_rate": (cached / len(finished)
+                                   if finished else 0.0),
+                "mean_wall_s": mean_wall,
+                "eta_s": eta_s,
+                "violations": violations,
+                "stall_bound_s": self.stall_bound(),
+                "stalls": [s.as_dict() for s in self.stalls],
+                "workers": workers,
+                "stragglers": stragglers,
+                "events_received": self.events_received,
+                "finished": self.finished_mono is not None,
+            }
+
+    def _publish_snapshot(self, force: bool = False) -> None:
+        now = self._clock()
+        if not force and now - self._last_published < 0.2:
+            return
+        self._last_published = now
+        if self.broker.closed:
+            return
+        self.broker.publish("fleet", json.dumps(self.snapshot()))
+
+    # --- report -----------------------------------------------------------
+
+    def report(self) -> FleetReport:
+        """The sweep-level rollup (call after the run has quiesced)."""
+        with self._lock:
+            records = list(self.jobs.values())
+            finished = [r for r in records if r.finished_mono is not None]
+            computed = sum(1 for r in finished if r.ok and not r.cached)
+            cached = sum(1 for r in finished if r.cached)
+            failed = sum(1 for r in finished if r.ok is False)
+            serial = sum(1 for r in records if r.serial)
+            requeued = sum(1 for r in records if r.requeued)
+            end = self.finished_mono or self._clock()
+            wall = max(end - self.started_mono, 1e-9)
+            violations: dict[str, int] = {}
+            for record in records:
+                for kind, count in record.violations.items():
+                    violations[kind] = violations.get(kind, 0) + count
+            workers = tuple({
+                "slot": s.slot, "pid": s.pid,
+                "jobs_done": s.jobs_done, "wall_s": s.wall_s,
+                "stalled": s.stalled,
+            } for s in sorted(self._workers.values(),
+                              key=lambda s: s.slot))
+            return FleetReport(
+                total=max(self.total_expected, len(records)),
+                computed=computed, cached=cached, failed=failed,
+                serial=serial, requeued=requeued, wall_s=wall,
+                jobs_per_s=len(finished) / wall,
+                cache_hit_rate=(cached / len(finished)
+                                if finished else 0.0),
+                violations=violations,
+                stalls=tuple(self.stalls),
+                workers=workers,
+                spans_merged=sum(len(r.spans) for r in records),
+                events_received=self.events_received,
+            )
+
+    # --- merged Perfetto trace --------------------------------------------
+
+    def fleet_events(self) -> list[Event]:
+        """The merged fleet timeline as obs events (ts/dur in us).
+
+        A sweep lane carries scheduling annotations — submit instants,
+        queue-wait spans, cache hits, requeues, and ``fleet.stall``
+        markers — and each worker slot's track carries its job spans
+        with the job's simulation spans rebased proportionally onto the
+        wall-clock interval. Stalled jobs are flagged (``STALLED`` name
+        prefix + ``args.stalled``) so the freeze is visible in Perfetto.
+        """
+        with self._lock:
+            records = [self.jobs[key] for key in self._job_order]
+            end_mono = self.finished_mono or self._clock()
+        t0 = self.started_mono
+
+        def us(mono: float) -> float:
+            return max(0.0, (mono - t0) * 1e6)
+
+        events: list[Event] = []
+        for record in records:
+            label = record.tag or record.key[:12]
+            base_args = {"key": record.key[:12], "tag": record.tag}
+            if record.submitted_mono is not None:
+                events.append(Event(
+                    ts=us(record.submitted_mono), name="job.submitted",
+                    track=TRACK_FLEET, ph=PH_INSTANT, args=base_args))
+                queued_until = record.started_mono or record.finished_mono
+                if queued_until is not None and \
+                        queued_until > record.submitted_mono:
+                    events.append(Event(
+                        ts=us(record.submitted_mono),
+                        name=f"queued {label}", track=TRACK_FLEET,
+                        ph=PH_SPAN,
+                        dur=us(queued_until) - us(record.submitted_mono),
+                        args=base_args))
+            if record.cached:
+                events.append(Event(
+                    ts=us(record.finished_mono or record.submitted_mono
+                          or t0),
+                    name="cache.hit", track=TRACK_FLEET, ph=PH_INSTANT,
+                    args=base_args))
+                continue
+            if record.requeued:
+                events.append(Event(
+                    ts=us(record.finished_mono or end_mono),
+                    name="job.requeued", track=TRACK_FLEET,
+                    ph=PH_INSTANT, args=base_args))
+            if record.started_mono is None:
+                continue
+            slot = record.worker if record.worker is not None else 0
+            start_us = us(record.started_mono)
+            end_us = us(record.finished_mono
+                        or record.last_seen_mono or end_mono)
+            job_args: dict[str, Any] = dict(base_args)
+            job_args.update({
+                "wall_s": record.wall_s, "serial": record.serial,
+                "ok": record.ok,
+            })
+            if record.error:
+                job_args["error"] = record.error
+            if record.violations:
+                job_args["violations"] = dict(record.violations)
+            name = label
+            if record.stalled:
+                name = f"STALLED {label}"
+                job_args["stalled"] = True
+                stall = next((s for s in self.stalls
+                              if s.key == record.key), None)
+                if stall is not None:
+                    job_args["diagnosis"] = stall.diagnosis
+                events.append(Event(
+                    ts=us(record.last_seen_mono or record.started_mono),
+                    name="fleet.stall", track=TRACK_FLEET, ph=PH_INSTANT,
+                    args=base_args))
+            events.append(Event(
+                ts=start_us, name=name, track=worker_track(slot),
+                ph=PH_SPAN, dur=max(end_us - start_us, 0.0),
+                args=job_args))
+            # Rebase the job's simulation spans (cycles within the run)
+            # proportionally onto its wall-clock slice so they nest
+            # under the job span in the viewer.
+            if record.spans and record.duration_cycles > 0:
+                scale = (end_us - start_us) / record.duration_cycles
+                for span in record.spans:
+                    if span.get("ph") != PH_SPAN:
+                        continue
+                    args = dict(span.get("args") or {})
+                    args["fleet.job"] = label
+                    args["fleet.track"] = span.get("track", "")
+                    events.append(Event(
+                        ts=start_us + float(span.get("ts", 0.0)) * scale,
+                        name=str(span.get("name", "span")),
+                        track=worker_track(slot), ph=PH_SPAN,
+                        dur=float(span.get("dur", 0.0)) * scale,
+                        args=args))
+        return events
+
+    def chrome_trace(self, label: str | None = None) -> dict[str, Any]:
+        """The merged fleet Perfetto/Chrome-trace JSON object."""
+        from repro.obs.export import chrome_trace as export_chrome_trace
+
+        return export_chrome_trace(self.fleet_events(),
+                                   frequency_hz=FLEET_TRACE_HZ,
+                                   label=label)
+
+    def write_chrome_trace(self, path, label: str | None = None) -> Path:
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(self.chrome_trace(label=label), handle)
+        return path
+
+
+__all__ = [
+    "FLEET_TRACE_HZ", "FleetConfig", "FleetCollector", "FleetReport",
+    "FleetStall", "JobRecord", "fleet_worker_init", "fleet_timed_call",
+]

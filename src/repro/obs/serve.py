@@ -1,14 +1,20 @@
-"""Stdlib HTTP server for live telemetry (``repro watch``).
+"""Stdlib HTTP servers for live observability.
 
-A :class:`TelemetryServer` wraps ``http.server.ThreadingHTTPServer`` in
-a daemon thread and serves, off one bound
-:class:`~repro.obs.telemetry.TelemetrySampler`:
+A :class:`TelemetryServer` (``repro watch``) wraps
+``http.server.ThreadingHTTPServer`` in a daemon thread and serves, off
+one bound :class:`~repro.obs.telemetry.TelemetrySampler`:
 
 * ``/`` — the self-contained HTML dashboard shell,
 * ``/panels`` — the server-rendered SVG panel fragment the page polls,
 * ``/data.json`` — the retained columnar snapshot as JSON,
 * ``/metrics`` — Prometheus text exposition (latest sample),
 * ``/events`` — Server-Sent-Events feed of samples and anomalies.
+
+A :class:`FleetServer` (``repro sweep --watch``) serves the same shape
+off a :class:`~repro.obs.fleet.FleetCollector`: ``/`` (fleet dashboard
+shell), ``/panels`` (worker/straggler tables), ``/fleet.json`` (the raw
+snapshot), and ``/events`` (SSE feed of fleet snapshots and
+``fleet.stall`` diagnoses).
 
 No third-party dependency: the whole thing is ``http.server`` +
 ``threading``, matching the repo's stdlib-only constraint.
@@ -21,13 +27,22 @@ import logging
 import queue
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING
 
-from repro.obs.dashboard import render_page, render_panels
+from repro.obs.dashboard import (
+    render_fleet_page,
+    render_fleet_panels,
+    render_page,
+    render_panels,
+)
 from repro.obs.telemetry import (
     PrometheusExporter,
     SseBroker,
     TelemetrySampler,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.fleet import FleetCollector
 
 logger = logging.getLogger("repro.obs.serve")
 
@@ -96,13 +111,50 @@ class TelemetryServer(ThreadingHTTPServer):
         return self._stopping.is_set()
 
 
-class _TelemetryHandler(BaseHTTPRequestHandler):
-    server: TelemetryServer  # narrowed for the route handlers
+class _BaseHandler(BaseHTTPRequestHandler):
+    """Shared plumbing of the dashboard handlers (send + SSE stream)."""
 
     # Route BaseHTTPRequestHandler's stderr chatter through the module
     # logger, so --log-format json captures access lines too.
     def log_message(self, format: str, *args) -> None:
         logger.debug("%s %s", self.address_string(), format % args)
+
+    def _send(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _stream_sse(self, broker: SseBroker) -> None:
+        """Stream one SSE subscription until the server stops."""
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        subscriber = broker.subscribe()
+        try:
+            while not self.server.stopping:
+                try:
+                    item = subscriber.get(timeout=_SSE_PING_S)
+                except queue.Empty:
+                    self.wfile.write(b": keep-alive\n\n")
+                    self.wfile.flush()
+                    continue
+                if item is None:  # close() sentinel
+                    break
+                event, payload = item
+                self.wfile.write(
+                    f"event: {event}\ndata: {payload}\n\n".encode("utf-8"))
+                self.wfile.flush()
+        finally:
+            broker.unsubscribe(subscriber)
+
+
+class _TelemetryHandler(_BaseHandler):
+    server: TelemetryServer  # narrowed for the route handlers
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler name)
         try:
@@ -120,20 +172,11 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
                 self._send(200, "text/plain; version=0.0.4; charset=utf-8",
                            self.server.prometheus.render())
             elif path == "/events":
-                self._stream_events()
+                self._stream_sse(self.server.sse)
             else:
                 self._send(404, "text/plain; charset=utf-8", "not found\n")
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away mid-response; nothing to clean up
-
-    def _send(self, status: int, content_type: str, body: str) -> None:
-        payload = body.encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(payload)))
-        self.send_header("Cache-Control", "no-store")
-        self.end_headers()
-        self.wfile.write(payload)
 
     def _render_panels(self) -> str:
         sampler = self.server.sampler
@@ -157,28 +200,84 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
             "anomalies": [a.as_dict() for a in sampler.anomalies],
         })
 
-    def _stream_events(self) -> None:
-        self.send_response(200)
-        self.send_header("Content-Type", "text/event-stream")
-        self.send_header("Cache-Control", "no-store")
-        self.end_headers()
-        subscriber = self.server.sse.subscribe()
+
+class FleetServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one fleet collector.
+
+    The ``repro sweep --watch`` counterpart of :class:`TelemetryServer`:
+    same lifecycle (``start()``/``stop()``, ephemeral port via
+    ``port=0``), but rendering the collector's live fleet snapshot and
+    relaying its SSE broker. The server does not own the collector — the
+    sweep creates and closes it.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, collector: "FleetCollector",
+                 host: str = "127.0.0.1", port: int = 0,
+                 title: str = "sweep", refresh_ms: int = 1000) -> None:
+        self.collector = collector
+        self.title = title
+        self.refresh_ms = refresh_ms
+        self._stopping = threading.Event()
+        self._thread: threading.Thread | None = None
+        super().__init__((host, port), _FleetHandler)
+
+    @property
+    def host(self) -> str:
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/"
+
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self.serve_forever,
+                                        name="fleet-http", daemon=True)
+        self._thread.start()
+        logger.info("fleet dashboard at %s", self.url)
+
+    def stop(self) -> None:
+        """Shut down: stop accepting, wake SSE streams, join."""
+        self._stopping.set()
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    @property
+    def stopping(self) -> bool:
+        return self._stopping.is_set() or self.collector.broker.closed
+
+
+class _FleetHandler(_BaseHandler):
+    server: FleetServer  # narrowed for the route handlers
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler name)
         try:
-            while not self.server.stopping:
-                try:
-                    item = subscriber.get(timeout=_SSE_PING_S)
-                except queue.Empty:
-                    self.wfile.write(b": keep-alive\n\n")
-                    self.wfile.flush()
-                    continue
-                if item is None:  # close() sentinel
-                    break
-                event, payload = item
-                self.wfile.write(
-                    f"event: {event}\ndata: {payload}\n\n".encode("utf-8"))
-                self.wfile.flush()
-        finally:
-            self.server.sse.unsubscribe(subscriber)
+            path = self.path.split("?", 1)[0]
+            if path == "/":
+                self._send(200, "text/html; charset=utf-8",
+                           render_fleet_page(self.server.title,
+                                             self.server.refresh_ms))
+            elif path == "/panels":
+                self._send(200, "text/html; charset=utf-8",
+                           render_fleet_panels(
+                               self.server.collector.snapshot()))
+            elif path == "/fleet.json":
+                self._send(200, "application/json",
+                           json.dumps(self.server.collector.snapshot()))
+            elif path == "/events":
+                self._stream_sse(self.server.collector.broker)
+            else:
+                self._send(404, "text/plain; charset=utf-8", "not found\n")
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response; nothing to clean up
 
 
-__all__ = ["TelemetryServer"]
+__all__ = ["TelemetryServer", "FleetServer"]

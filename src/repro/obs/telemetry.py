@@ -566,6 +566,15 @@ class SseBroker(TelemetryExporter):
                     except queue.Empty:  # pragma: no cover - race only
                         break
 
+    def publish(self, event: str, payload: str) -> None:
+        """Fan one already-serialised SSE event out to every subscriber.
+
+        The sample path goes through :meth:`on_sample`; this is the
+        generic entry point other producers (the fleet collector) use to
+        ride the same bounded drop-oldest queues.
+        """
+        self._publish((event, payload))
+
     def on_sample(self, row: np.ndarray,
                   anomalies: Sequence[TelemetryAnomaly]) -> None:
         payload = dict(zip(self._columns, (float(v) for v in row)))

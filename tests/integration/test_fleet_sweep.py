@@ -1,0 +1,170 @@
+"""End-to-end fleet observability: byte-identical parallel sweeps, the
+injected-stall recovery drill, and the live dashboard's HTTP surface.
+
+These are the issue's acceptance scenarios: running a sweep with
+``--jobs N`` under the fleet collector must not change a single result
+byte relative to the serial path, an injected worker freeze must be
+detected, attributed, recovered from (serial requeue) and flagged in the
+merged trace, and ``repro sweep --watch`` must serve a dashboard a plain
+HTTP client can read.
+"""
+
+import dataclasses
+import json
+import urllib.request
+
+import pytest
+
+from repro.analysis.sweep import sweep_cp_limit
+from repro.cli import main
+from repro.obs.export import validate_chrome_trace
+from repro.obs.fleet import FleetCollector, FleetConfig
+from repro.obs.serve import FleetServer
+from repro.traces.io import write_trace
+from repro.traces.synthetic import synthetic_storage_trace
+
+CP_LIMITS = [0.05, 0.20]
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return synthetic_storage_trace(duration_ms=0.5, transfers_per_ms=60,
+                                   seed=9)
+
+
+@pytest.fixture
+def trace_file(tmp_path, small_trace):
+    path = tmp_path / "st.jsonl"
+    write_trace(small_trace, path)
+    return str(path)
+
+
+def points_as_dicts(points):
+    return [dataclasses.asdict(p.result) for p in points if p.ok]
+
+
+class TestFleetDeterminism:
+    def test_observed_pool_matches_serial_bytes(self, small_trace):
+        serial = sweep_cp_limit(small_trace, CP_LIMITS, ["dma-ta"],
+                                max_workers=1)
+        collector = FleetCollector(FleetConfig())
+        try:
+            fleet = sweep_cp_limit(small_trace, CP_LIMITS, ["dma-ta"],
+                                   max_workers=2, fleet=collector)
+            report = collector.report()
+        finally:
+            collector.close()
+        assert all(p.ok for p in serial + fleet)
+        assert points_as_dicts(fleet) == points_as_dicts(serial)
+        assert report.computed == len(CP_LIMITS) + 1  # + shared baseline
+        assert report.failed == 0
+        assert not report.stalls
+        assert report.spans_merged > 0, "observed jobs must ship spans"
+
+
+class TestStallRecoveryDrill:
+    def test_injected_freeze_is_detected_and_recovered(
+            self, trace_file, tmp_path, capsys):
+        """The full drill through the real CLI: freeze one worker
+        mid-job, watch the watchdog attribute it, requeue the job onto
+        the serial path, and finish the sweep with every point ok."""
+        trace_out = tmp_path / "fleet_trace.json"
+        report_out = tmp_path / "fleet_report.json"
+        code = main([
+            "sweep", trace_file, "--technique", "dma-ta",
+            "--cp-limits", "0.05,0.2", "--jobs", "2", "--no-cache",
+            "--inject-stall", "cp=0.05:dma-ta", "--inject-stall-s", "4",
+            "--stall-timeout", "1",
+            "--fleet-trace-out", str(trace_out),
+            "--fleet-report-out", str(report_out),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, "the sweep must survive the frozen worker"
+        # Detection + attribution: the greppable diagnosis names the job.
+        assert "fleet.stall: job cp=0.05:dma-ta" in out
+        assert "requeueing onto the serial path" in out
+        # Recovery is visible in the report JSON...
+        report = json.loads(report_out.read_text())
+        assert report["requeued"] >= 1
+        assert report["failed"] == 0
+        assert len(report["stalls"]) == 1
+        assert report["stalls"][0]["tag"] == "cp=0.05:dma-ta"
+        # ...and the merged trace flags the stalled span.
+        trace = json.loads(trace_out.read_text())
+        assert validate_chrome_trace(trace) == []
+        names = [e["name"] for e in trace["traceEvents"]]
+        assert "STALLED cp=0.05:dma-ta" in names
+        assert "fleet.stall" in names
+
+    def test_clean_parallel_sweep_reports_no_stalls(
+            self, trace_file, tmp_path, capsys):
+        report_out = tmp_path / "fleet_report.json"
+        code = main([
+            "sweep", trace_file, "--technique", "dma-ta",
+            "--cp-limits", "0.05,0.2", "--jobs", "2", "--no-cache",
+            "--fleet-report-out", str(report_out),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fleet.stall" not in out
+        report = json.loads(report_out.read_text())
+        assert report["computed"] == len(CP_LIMITS) + 1
+        assert report["stalls"] == []
+        assert report["requeued"] == 0
+
+
+class TestFleetServerSmoke:
+    def http_get(self, url: str) -> str:
+        with urllib.request.urlopen(url, timeout=10.0) as response:
+            assert response.status == 200
+            return response.read().decode("utf-8")
+
+    def test_dashboard_endpoints_serve_live_state(self):
+        collector = FleetCollector(FleetConfig())
+        server = FleetServer(collector, port=0, title="smoke-sweep")
+        server.start()
+        try:
+            from repro.config import (BusConfig, MemoryConfig,
+                                      SimulationConfig)
+            from repro.exec.jobs import SimJob
+            from repro.traces.records import DMATransfer
+            from repro.traces.trace import Trace
+
+            trace = Trace(
+                name="t",
+                records=[DMATransfer(time=1.0, page=0, size_bytes=8192)],
+                duration_cycles=1000.0)
+            config = SimulationConfig(
+                memory=MemoryConfig(num_chips=4, chip_bytes=1 << 20,
+                                    page_bytes=8192),
+                buses=BusConfig(count=3))
+            job = SimJob(trace, "baseline", config=config, tag="probe")
+            collector.expect(1)
+            collector.note_submitted(job.key(), job)
+            collector.handle({"kind": "job.started", "worker": 99,
+                              "key": job.key(), "tag": "probe",
+                              "technique": "baseline", "mono": 0.0})
+
+            page = self.http_get(server.url)
+            assert "smoke-sweep" in page
+            panels = self.http_get(server.url + "/panels")
+            assert "probe" in panels
+            snapshot = json.loads(self.http_get(server.url + "/fleet.json"))
+            assert snapshot["total"] == 1
+            assert snapshot["running"] == 1
+            assert snapshot["workers"][0]["pid"] == 99
+        finally:
+            server.stop()
+            collector.close()
+
+    def test_cli_watch_writes_port_file_headless(self, trace_file,
+                                                 tmp_path):
+        port_file = tmp_path / "port"
+        code = main([
+            "sweep", trace_file, "--technique", "dma-ta",
+            "--cp-limits", "0.05", "--jobs", "2", "--no-cache",
+            "--watch", "--serve-port", "0", "--no-browser",
+            "--linger-s", "0", "--port-file", str(port_file),
+        ])
+        assert code == 0
+        assert int(port_file.read_text().strip()) > 0

@@ -72,6 +72,39 @@ def test_run_many_equals_serial_all_widths(records, job_specs):
             assert cache.stats.corrupt == 0
 
 
+@given(records=st.lists(transfers, min_size=1, max_size=6),
+       job_specs=st.lists(specs, min_size=1, max_size=3))
+@settings(max_examples=3, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_fleet_observation_is_invisible_in_results(records, job_specs):
+    """Attaching the fleet collector (workers stream spans, heartbeats
+    and audit rollups to the parent) must not change a result byte —
+    the same contract the plain pool already honours."""
+    from repro.obs.fleet import FleetCollector, FleetConfig
+
+    trace = Trace(name="prop", records=list(records),
+                  duration_cycles=150_000.0)
+    jobs = [SimJob(trace, technique, config=CONFIG, mu=mu, seed=seed)
+            for technique, mu, seed in job_specs]
+    serial = [simulate(trace, config=CONFIG, technique=j.technique,
+                       mu=j.mu, seed=j.seed) for j in jobs]
+
+    collector = FleetCollector(FleetConfig())
+    try:
+        observed = run_many(jobs, max_workers=2, fleet=collector)
+        report = collector.report()
+    finally:
+        collector.close()
+    assert all(o.ok for o in observed)
+    for outcome, reference in zip(observed, serial):
+        assert _same(outcome.result, reference)
+    assert report.failed == 0
+    assert not report.stalls
+    # Every distinct job was either computed under observation or
+    # deduplicated — none may escape the collector's ledger.
+    assert report.total == len({j.key() for j in jobs})
+
+
 @given(records=st.lists(transfers, min_size=1, max_size=6))
 @settings(max_examples=5, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])

@@ -52,6 +52,16 @@ def sleepy(job: SimJob):
     return _execute(job)
 
 
+def sleeps_only_in_pool_children(job: SimJob):
+    """Hangs (briefly) in pool workers, runs clean on the serial path —
+    the shape of a wedged child the derived wait bound must contain."""
+    import multiprocessing
+
+    if multiprocessing.parent_process() is not None:
+        time.sleep(4.0)
+    return _execute(job)
+
+
 class TestFaultContainment:
     @pytest.mark.parametrize("workers", [1, 2])
     def test_one_failing_job_does_not_sink_the_batch(self, workers):
@@ -184,3 +194,59 @@ class TestEagerValidation:
     def test_negative_mu_rejected(self):
         with pytest.raises(ConfigurationError):
             run_many([SimJob(tiny_trace(), "dma-ta", mu=-1.0)])
+
+
+class TestDerivedWaitBound:
+    def test_silent_pool_job_downgrades_to_serial(self, monkeypatch):
+        """With no explicit timeout, a job that never returns from the
+        pool must hit the derived wait bound and retry serially —
+        run_many can no longer block forever (ROADMAP: pool-hang
+        hardening)."""
+        monkeypatch.setenv(runner_module.WAIT_FLOOR_ENV, "0.5")
+        jobs = [SimJob(tiny_trace(), "baseline", config=tiny_config()),
+                SimJob(tiny_trace(), "pl", config=tiny_config())]
+        start = time.monotonic()
+        outcomes = run_many(jobs, worker=sleeps_only_in_pool_children,
+                            max_workers=2)
+        elapsed = time.monotonic() - start
+        assert all(o.ok for o in outcomes)
+        assert elapsed < 3.5, "must not wait out the wedged children"
+
+    def test_wait_floor_env_parsing(self, monkeypatch, caplog):
+        monkeypatch.setenv(runner_module.WAIT_FLOOR_ENV, "12.5")
+        assert runner_module._wait_floor_s() == 12.5
+        monkeypatch.setenv(runner_module.WAIT_FLOOR_ENV, "banana")
+        with caplog.at_level("WARNING", logger="repro.exec.runner"):
+            assert (runner_module._wait_floor_s()
+                    == runner_module.DEFAULT_WAIT_FLOOR_S)
+        assert "banana" in caplog.text
+        monkeypatch.delenv(runner_module.WAIT_FLOOR_ENV)
+        assert (runner_module._wait_floor_s()
+                == runner_module.DEFAULT_WAIT_FLOOR_S)
+
+
+class TestStartMethodOverride:
+    def test_spawn_context_runs_a_real_batch(self, monkeypatch):
+        monkeypatch.setenv(runner_module.START_METHOD_ENV, "spawn")
+        context = runner_module.executor_mp_context()
+        assert context is not None
+        assert context.get_start_method() == "spawn"
+        jobs = [SimJob(tiny_trace(), "baseline", config=tiny_config()),
+                SimJob(tiny_trace(), "pl", config=tiny_config())]
+        outcomes = run_many(jobs, max_workers=2)
+        assert all(o.ok for o in outcomes)
+        serial = run_many(jobs, max_workers=1)
+        assert [o.result.energy.as_dict() for o in outcomes] == \
+            [o.result.energy.as_dict() for o in serial]
+
+    def test_unset_means_platform_default(self, monkeypatch):
+        monkeypatch.delenv(runner_module.START_METHOD_ENV, raising=False)
+        assert runner_module.executor_mp_context() is None
+
+    def test_invalid_start_method_warns_and_falls_back(
+            self, monkeypatch, caplog):
+        monkeypatch.setenv(runner_module.START_METHOD_ENV, "teleport")
+        with caplog.at_level("WARNING", logger="repro.exec.runner"):
+            assert runner_module.executor_mp_context() is None
+        assert "teleport" in caplog.text
+        assert "spawn" in caplog.text  # the valid menu is listed

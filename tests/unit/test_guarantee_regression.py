@@ -1,0 +1,89 @@
+"""Pinned falsifier for the DMA-TA slack guarantee (known model gap).
+
+The paper's Section 4 describes the slack-based alignment scheme as
+providing "a soft guarantee that the *average* DMA-memory request
+service time stays within ``(1+mu)*T``". The property sweep
+(``tests/property/test_simulation_properties.py::
+test_guarantee_never_violated``) checks exactly that bound — and
+hypothesis found a deterministic counterexample, promoted here verbatim
+per the ROADMAP's "guarantee edge case" item.
+
+The shape of the failure: a single hot page absorbs a long processor
+burst (25 accesses) immediately before a DMA transfer lands on the same
+page. The burst's queued demand inflates the transfer's per-request
+extra service beyond ``mu * T`` (here 4.15625 > 4.0 cycles), and the
+averaging window is too small for slack earned elsewhere to pay it
+back. This is a real gap between our implementation and the paper's
+soft-guarantee wording, not test noise; the run is fully deterministic.
+
+The test is ``xfail(strict=True)``: it *documents* the violation. If a
+future change to the slack accounting makes the bound hold, the strict
+xfail will fail the suite, forcing that change to delete this file and
+re-enable the property for this regime deliberately.
+"""
+
+import pytest
+
+from repro import simulate
+from repro.config import BusConfig, MemoryConfig, SimulationConfig
+from repro.traces.records import DMATransfer, ProcessorBurst
+from repro.traces.trace import Trace
+
+MB = 1 << 20
+
+#: The exact configuration hypothesis shrank to (4 chips, 3 buses).
+CONFIG = SimulationConfig(
+    memory=MemoryConfig(num_chips=4, chip_bytes=MB, page_bytes=8192),
+    buses=BusConfig(count=3))
+
+#: mu under test; the guarantee bound is mu * T = 1.0 * 4.0 cycles.
+MU = 1.0
+
+#: Extra service the falsifier provokes, pinned to the byte so that any
+#: drift in the engines shows up here before it shows up as flakiness
+#: in the property sweep.
+EXPECTED_AVG_EXTRA = 4.15625
+
+EXPECTED_REQUESTS = 64
+
+
+def falsifier_trace() -> Trace:
+    """25-access burst then a 512 B write, both on page 83."""
+    records = [
+        ProcessorBurst(time=0.0, page=83, count=25),
+        DMATransfer(time=5750.0, page=83, size_bytes=512, is_write=True),
+    ]
+    return Trace(name="falsifier", records=records,
+                 duration_cycles=300_000.0)
+
+
+@pytest.mark.xfail(
+    strict=True,
+    reason="known model gap: a dense same-page processor burst pushes "
+           "the average extra service to 4.15625 cycles, past the "
+           "mu*T = 4.0 soft bound of paper Section 4 (ROADMAP: "
+           "guarantee edge case)")
+def test_soft_guarantee_holds_on_burst_falsifier():
+    result = simulate(falsifier_trace(), config=CONFIG,
+                      technique="dma-ta", mu=MU)
+    assert not result.guarantee_violated
+    assert result.avg_extra_service_cycles <= MU * 4.0 * (1 + 1e-6) + 1e-9
+
+
+def test_falsifier_is_pinned_and_deterministic():
+    """The counterexample itself must not drift silently.
+
+    Two back-to-back runs must agree exactly, and the violation
+    magnitude must stay at the pinned value — if either moves, the
+    engines changed behaviour in this regime and both this file and the
+    property test's exclusions need a fresh look.
+    """
+    first = simulate(falsifier_trace(), config=CONFIG,
+                     technique="dma-ta", mu=MU)
+    second = simulate(falsifier_trace(), config=CONFIG,
+                      technique="dma-ta", mu=MU)
+    assert first.guarantee_violated
+    assert first.requests == EXPECTED_REQUESTS
+    assert first.avg_extra_service_cycles == EXPECTED_AVG_EXTRA
+    assert second.avg_extra_service_cycles == first.avg_extra_service_cycles
+    assert second.energy.as_dict() == first.energy.as_dict()

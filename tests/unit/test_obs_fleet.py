@@ -1,0 +1,452 @@
+"""Units for cross-process fleet observability.
+
+Collector logic is driven directly through :meth:`FleetCollector.handle`
+(the watchdog on an injectable fake clock), the worker wrapper runs
+in-process against a plain queue, and one round-trip test ships real
+messages through the multiprocessing queue the pool would use.
+"""
+
+import pickle
+import queue
+import threading
+import time
+
+import pytest
+
+from repro.config import BusConfig, MemoryConfig, SimulationConfig
+from repro.errors import ConfigurationError
+from repro.exec.jobs import SimJob
+from repro.exec.runner import _execute
+from repro.obs import fleet as fleet_module
+from repro.obs.export import validate_chrome_trace
+from repro.obs.fleet import (
+    FleetCollector,
+    FleetConfig,
+    fleet_timed_call,
+    fleet_worker_init,
+)
+from repro.traces.records import DMATransfer, ProcessorBurst
+from repro.traces.trace import Trace
+
+MB = 1 << 20
+
+
+def tiny_trace() -> Trace:
+    records = [DMATransfer(time=1000.0, page=3, size_bytes=8192),
+               ProcessorBurst(time=2000.0, page=3, count=4),
+               DMATransfer(time=5000.0, page=7, size_bytes=8192)]
+    return Trace(name="tiny", records=records, duration_cycles=100_000.0)
+
+
+def tiny_config() -> SimulationConfig:
+    return SimulationConfig(
+        memory=MemoryConfig(num_chips=4, chip_bytes=MB, page_bytes=8192),
+        buses=BusConfig(count=3))
+
+
+def tiny_job(technique: str = "baseline", tag: str = "") -> SimJob:
+    return SimJob(tiny_trace(), technique, config=tiny_config(), tag=tag)
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def worker_ctx():
+    """Bind the in-process 'worker' to a plain queue; restore after."""
+    q = queue.Queue()
+    fleet_worker_init(q, FleetCollector(FleetConfig(
+        heartbeat_s=0.05)).worker_opts())
+    yield q
+    fleet_module._WORKER_CTX = None
+
+
+def drain(q) -> list[dict]:
+    out = []
+    while True:
+        try:
+            out.append(q.get_nowait())
+        except queue.Empty:
+            return out
+
+
+class TestFleetConfig:
+    def test_defaults_are_valid(self):
+        config = FleetConfig()
+        assert config.capture_spans
+        assert not config.sample_telemetry  # ULP-perturbing: opt-in only
+
+    @pytest.mark.parametrize("kwargs", [
+        {"heartbeat_s": 0.0},
+        {"poll_s": -1.0},
+        {"stall_after_s": 0.0},
+        {"stall_floor_s": 0.0},
+        {"stall_wall_factor": -2.0},
+        {"span_capacity": 0},
+        {"inject_stall_s": -1.0},
+    ])
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FleetConfig(**kwargs)
+
+
+class TestWorkerWrapper:
+    def test_streams_started_and_finished_with_spans(self, worker_ctx):
+        job = SimJob(tiny_trace(), "dma-ta", config=tiny_config(),
+                     mu=1.0, tag="mu=1:dma-ta")
+        result, wall = fleet_timed_call(_execute, job, job.key(), True)
+        assert result.technique == "dma-ta"
+        assert wall > 0
+        messages = drain(worker_ctx)
+        kinds = [m["kind"] for m in messages]
+        assert kinds[0] == "job.started"
+        assert kinds[-1] == "job.finished"
+        started, finished = messages[0], messages[-1]
+        assert started["tag"] == "mu=1:dma-ta"
+        assert started["technique"] == "dma-ta"
+        assert finished["ok"] is True
+        assert finished["error"] is None
+        assert finished["wall_s"] == wall
+        assert finished["spans"], "ring-tracer spans must ship"
+        assert finished["duration_cycles"] == result.duration_cycles
+        assert finished["violations"] == {}
+        assert finished["energy_j"] == result.energy_joules
+        # Everything on the wire must survive the pickle boundary.
+        for message in messages:
+            assert pickle.loads(pickle.dumps(message)) == message
+
+    def test_observed_body_matches_plain_run_exactly(self, worker_ctx):
+        import dataclasses
+
+        job = SimJob(tiny_trace(), "dma-ta", config=tiny_config(),
+                     mu=1.0)
+        observed, _ = fleet_timed_call(_execute, job, job.key(), True)
+        plain = _execute(job)
+        assert dataclasses.asdict(observed) == dataclasses.asdict(plain)
+
+    def test_custom_worker_body_skips_span_capture(self, worker_ctx):
+        calls = []
+
+        def custom(job):
+            calls.append(job.technique)
+            return _execute(job)
+
+        job = tiny_job()
+        result, _ = fleet_timed_call(custom, job, job.key(), False)
+        assert calls == ["baseline"]
+        finished = drain(worker_ctx)[-1]
+        assert finished["ok"] is True
+        assert "spans" not in finished
+
+    def test_exception_reports_failure_and_reraises(self, worker_ctx):
+        def boom(job):
+            raise RuntimeError("injected worker fault")
+
+        job = tiny_job()
+        with pytest.raises(RuntimeError, match="injected worker fault"):
+            fleet_timed_call(boom, job, job.key(), False)
+        finished = drain(worker_ctx)[-1]
+        assert finished["kind"] == "job.finished"
+        assert finished["ok"] is False
+        assert "injected worker fault" in finished["error"]
+
+    def test_heartbeats_flow_during_long_jobs(self, worker_ctx):
+        def slow(job):
+            time.sleep(0.25)
+            return _execute(job)
+
+        job = tiny_job()
+        fleet_timed_call(slow, job, job.key(), False)
+        kinds = [m["kind"] for m in drain(worker_ctx)]
+        assert "job.heartbeat" in kinds
+
+    def test_without_initializer_degrades_to_plain_timing(self):
+        fleet_module._WORKER_CTX = None
+        job = tiny_job()
+        result, wall = fleet_timed_call(_execute, job, job.key(), True)
+        assert result.technique == "baseline"
+        assert wall > 0
+
+
+class TestCollectorStateMachine:
+    def make(self, clock=None, **config_kwargs):
+        collector = FleetCollector(FleetConfig(**config_kwargs),
+                                   clock=clock or FakeClock())
+        return collector
+
+    def test_lifecycle_counts_and_report(self):
+        clock = FakeClock()
+        collector = self.make(clock)
+        job = tiny_job("dma-ta", tag="point-a")
+        key = job.key()
+        collector.expect(2)
+        collector.note_submitted(key, job)
+        collector.handle({"kind": "job.started", "worker": 4242,
+                          "key": key, "tag": "point-a",
+                          "technique": "dma-ta", "mono": clock()})
+        clock.advance(0.5)
+        collector.handle({"kind": "job.finished", "worker": 4242,
+                          "key": key, "mono": clock(), "ok": True,
+                          "error": None, "wall_s": 0.5,
+                          "violations": {"result-energy-mismatch": 1},
+                          "energy_j": 1.0, "requests": 4.0})
+        cached = tiny_job("pl", tag="point-b")
+        collector.note_submitted(cached.key(), cached)
+        collector.note_cache_hit(cached.key(), cached)
+        collector.quiesce(wait_s=0.0)
+        report = collector.report()
+        assert report.total == 2
+        assert report.computed == 1
+        assert report.cached == 1
+        assert report.failed == 0
+        assert report.violations == {"result-energy-mismatch": 1}
+        assert report.cache_hit_rate == 0.5
+        rendered = report.render()
+        assert "2 job(s)" in rendered
+        assert "result-energy-mismatch: 1" in rendered
+
+    def test_worker_slots_assigned_in_first_seen_order(self):
+        collector = self.make()
+        jobs = [tiny_job("baseline"), tiny_job("pl"), tiny_job("nopm")]
+        for pid, job in zip((900, 800, 900), jobs):
+            collector.note_submitted(job.key(), job)
+            collector.handle({"kind": "job.started", "worker": pid,
+                              "key": job.key(), "tag": job.label,
+                              "technique": job.technique, "mono": 1.0})
+        snapshot = collector.snapshot()
+        slots = {w["pid"]: w["slot"] for w in snapshot["workers"]}
+        assert slots == {900: 1, 800: 2}
+
+    def test_serial_path_is_worker_slot_zero(self):
+        collector = self.make()
+        job = tiny_job()
+        key = job.key()
+        collector.note_submitted(key, job)
+        collector.note_serial_start(key)
+        collector.note_serial_finish(key, True, None, 0.1)
+        report = collector.report()
+        assert report.serial == 1
+        assert report.workers[0]["slot"] == 0
+        assert report.workers[0]["jobs_done"] == 1
+
+    def test_snapshot_eta_and_rates(self):
+        clock = FakeClock()
+        collector = self.make(clock)
+        collector.expect(4)
+        jobs = [tiny_job(t) for t in ("baseline", "pl")]
+        for job in jobs:
+            collector.note_submitted(job.key(), job)
+        for index, job in enumerate(jobs):
+            collector.handle({"kind": "job.started", "worker": 7000,
+                              "key": job.key(), "tag": job.label,
+                              "technique": job.technique,
+                              "mono": clock()})
+            clock.advance(2.0)
+            collector.handle({"kind": "job.finished", "worker": 7000,
+                              "key": job.key(), "mono": clock(),
+                              "ok": True, "error": None, "wall_s": 2.0,
+                              "violations": {}})
+        snapshot = collector.snapshot()
+        assert snapshot["done"] == 2
+        assert snapshot["total"] == 4
+        assert snapshot["mean_wall_s"] == pytest.approx(2.0)
+        # 2 remaining jobs at 2 s each over 1 live worker.
+        assert snapshot["eta_s"] == pytest.approx(4.0)
+        assert snapshot["jobs_per_s"] == pytest.approx(2 / 4.0)
+
+    def test_ignores_malformed_messages(self):
+        collector = self.make()
+        collector.handle("not a mapping")
+        collector.handle({"kind": "job.started"})  # no key
+        collector.handle({"kind": "mystery", "key": "k", "mono": 1.0})
+        assert collector.report().total == 1  # the mystery key only
+
+
+class TestWatchdog:
+    def test_stall_detected_attributed_and_drained_once(self):
+        clock = FakeClock()
+        collector = FleetCollector(
+            FleetConfig(heartbeat_s=0.25, stall_after_s=3.0), clock=clock)
+        job = tiny_job("dma-ta", tag="stuck-point")
+        key = job.key()
+        collector.note_submitted(key, job)
+        collector.handle({"kind": "job.started", "worker": 5555,
+                          "key": key, "tag": "stuck-point",
+                          "technique": "dma-ta", "mono": clock()})
+        # A worker that dies mid-job: started, then permanent silence.
+        clock.advance(2.0)
+        assert collector.check_stalls() == []
+        clock.advance(2.0)
+        stalls = collector.check_stalls()
+        assert len(stalls) == 1
+        stall = stalls[0]
+        assert stall.key == key
+        assert stall.tag == "stuck-point"
+        assert stall.worker == 1
+        assert stall.diagnosis.startswith("fleet.stall: job stuck-point")
+        assert "requeueing onto the serial path" in stall.diagnosis
+        assert collector.take_stalled() == [key]
+        assert collector.take_stalled() == []  # drained exactly once
+        assert collector.check_stalls() == []  # not re-flagged
+
+    def test_heartbeats_defer_the_watchdog(self):
+        clock = FakeClock()
+        collector = FleetCollector(
+            FleetConfig(stall_after_s=3.0), clock=clock)
+        job = tiny_job(tag="alive")
+        key = job.key()
+        collector.note_submitted(key, job)
+        collector.handle({"kind": "job.started", "worker": 1, "key": key,
+                          "tag": "alive", "technique": "baseline",
+                          "mono": clock()})
+        for _ in range(4):
+            clock.advance(2.0)
+            collector.handle({"kind": "job.heartbeat", "worker": 1,
+                              "key": key, "mono": clock()})
+            assert collector.check_stalls() == []
+
+    def test_derived_bound_scales_with_observed_walls(self):
+        clock = FakeClock()
+        collector = FleetCollector(
+            FleetConfig(heartbeat_s=0.25, stall_floor_s=5.0,
+                        stall_wall_factor=8.0), clock=clock)
+        assert collector.stall_bound() == 5.0  # cold: the floor
+        job = tiny_job()
+        key = job.key()
+        collector.note_submitted(key, job)
+        collector.handle({"kind": "job.finished", "worker": 1,
+                          "key": key, "mono": clock(), "ok": True,
+                          "error": None, "wall_s": 2.0})
+        assert collector.stall_bound() == pytest.approx(16.0)
+
+    def test_stall_publishes_sse_event(self):
+        clock = FakeClock()
+        collector = FleetCollector(
+            FleetConfig(stall_after_s=1.0), clock=clock)
+        subscriber = collector.broker.subscribe()
+        job = tiny_job(tag="pub")
+        key = job.key()
+        collector.note_submitted(key, job)
+        collector.handle({"kind": "job.started", "worker": 1, "key": key,
+                          "tag": "pub", "technique": "baseline",
+                          "mono": clock()})
+        clock.advance(2.0)
+        collector.check_stalls()
+        events = []
+        while True:
+            try:
+                events.append(subscriber.get_nowait())
+            except queue.Empty:
+                break
+        assert any(item and item[0] == "stall" for item in events)
+
+
+class TestFleetTrace:
+    def test_merged_trace_validates_and_flags_stalls(self):
+        clock = FakeClock()
+        collector = FleetCollector(
+            FleetConfig(stall_after_s=1.0), clock=clock)
+        good = tiny_job("pl", tag="good")
+        stuck = tiny_job("dma-ta", tag="stuck")
+        for job in (good, stuck):
+            collector.note_submitted(job.key(), job)
+        clock.advance(0.1)
+        collector.handle({"kind": "job.started", "worker": 10,
+                          "key": good.key(), "tag": "good",
+                          "technique": "pl", "mono": clock()})
+        collector.handle({"kind": "job.started", "worker": 20,
+                          "key": stuck.key(), "tag": "stuck",
+                          "technique": "dma-ta", "mono": clock()})
+        clock.advance(0.4)
+        collector.handle({
+            "kind": "job.finished", "worker": 10, "key": good.key(),
+            "mono": clock(), "ok": True, "error": None, "wall_s": 0.4,
+            "duration_cycles": 1000.0,
+            "spans": [{"ts": 0.0, "name": "active", "track": "chip:0",
+                       "ph": "X", "dur": 500.0}]})
+        clock.advance(2.0)
+        collector.check_stalls()
+        trace = collector.chrome_trace(label="unit")
+        assert validate_chrome_trace(trace) == []
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert "good" in names
+        assert "STALLED stuck" in names
+        assert "fleet.stall" in names
+        assert "job.submitted" in names
+        # The sim span is rebased inside the job's wall interval.
+        sim = next(e for e in trace["traceEvents"]
+                   if e["name"] == "active")
+        job_span = next(e for e in trace["traceEvents"]
+                        if e["name"] == "good")
+        assert job_span["ts"] <= sim["ts"]
+        assert sim["ts"] + sim["dur"] <= \
+            job_span["ts"] + job_span["dur"] + 1e-6
+        stalled_span = next(e for e in trace["traceEvents"]
+                            if e["name"] == "STALLED stuck")
+        assert stalled_span["args"]["stalled"] is True
+        assert stalled_span["args"]["diagnosis"].startswith("fleet.stall")
+
+    def test_cache_hits_and_requeues_annotate_the_sweep_lane(self):
+        clock = FakeClock()
+        collector = FleetCollector(FleetConfig(), clock=clock)
+        hit = tiny_job("pl", tag="warm")
+        requeued = tiny_job("dma-ta", tag="bounced")
+        collector.note_submitted(hit.key(), hit)
+        collector.note_cache_hit(hit.key(), hit)
+        collector.note_submitted(requeued.key(), requeued)
+        collector.note_requeued(requeued.key())
+        collector.note_serial_start(requeued.key())
+        clock.advance(0.3)
+        collector.note_serial_finish(requeued.key(), True, None, 0.3)
+        names = {e["name"] for e in collector.chrome_trace()["traceEvents"]}
+        assert "cache.hit" in names
+        assert "job.requeued" in names
+
+
+class TestQueueRoundTrip:
+    def test_messages_survive_the_real_mp_queue(self):
+        collector = FleetCollector(FleetConfig(heartbeat_s=0.05))
+        fleet_queue, opts = collector.initargs()
+        job = SimJob(tiny_trace(), "dma-ta", config=tiny_config(),
+                     mu=1.0, tag="round-trip")
+        key = job.key()
+        collector.note_submitted(key, job)
+
+        def worker_side():
+            fleet_worker_init(fleet_queue, opts)
+            try:
+                fleet_timed_call(_execute, job, key, True)
+            finally:
+                fleet_module._WORKER_CTX = None
+
+        thread = threading.Thread(target=worker_side)
+        thread.start()
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        collector.start()
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            report = collector.report()
+            if report.computed == 1:
+                break
+            time.sleep(0.05)
+        collector.quiesce()
+        report = collector.report()
+        assert report.computed == 1
+        assert report.spans_merged > 0
+        assert validate_chrome_trace(collector.chrome_trace()) == []
+        collector.close()
+
+    def test_initargs_are_picklable_for_spawned_workers(self):
+        collector = FleetCollector(FleetConfig())
+        _, opts = collector.initargs()
+        assert pickle.loads(pickle.dumps(opts)) == opts
+        collector.close()

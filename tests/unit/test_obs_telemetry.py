@@ -249,6 +249,21 @@ class TestJsonlExporter:
         exporter.close()
         exporter.close()
 
+    def test_every_line_is_durable_before_close(self, tmp_path):
+        """Lines must hit the disk per sample (the stream is tailed
+        live by watch dashboards), and close() must not lose the tail."""
+        path = tmp_path / "stream.jsonl"
+        exporter = JsonlExporter(path)
+        exporter.on_bind(("ts",))
+        exporter.on_sample(np.array([1.0]), [])
+        # Visible to a concurrent reader before close.
+        assert json.loads(path.read_text().splitlines()[0])["ts"] == 1.0
+        exporter.on_sample(np.array([2.0]), [])
+        exporter.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[-1])["ts"] == 2.0
+
 
 class TestSseBroker:
     def test_fanout_and_close_sentinel(self):
@@ -281,6 +296,47 @@ class TestSseBroker:
         broker.on_sample(np.array([1.0]), [])
         with pytest.raises(queue.Empty):
             subscriber.get_nowait()
+
+    def test_publish_rides_the_same_bounded_queues(self):
+        """The generic entry point (used by the fleet collector) must
+        share the drop-oldest discipline of the sample path."""
+        broker = SseBroker(max_queued=2)
+        subscriber = broker.subscribe()
+        for index in range(5):
+            broker.publish("fleet", f'{{"seq": {index}}}')
+        assert subscriber.get_nowait() == ("fleet", '{"seq": 3}')
+        assert subscriber.get_nowait() == ("fleet", '{"seq": 4}')
+        with pytest.raises(queue.Empty):
+            subscriber.get_nowait()
+
+    def test_publish_and_samples_interleave_in_order(self):
+        broker = SseBroker()
+        broker.on_bind(("ts",))
+        subscriber = broker.subscribe()
+        broker.on_sample(np.array([1.0]), [])
+        broker.publish("stall", '{"worker": 2}')
+        broker.on_sample(np.array([2.0]), [])
+        events = [subscriber.get_nowait()[0] for _ in range(3)]
+        assert events == ["sample", "stall", "sample"]
+
+    def test_disconnecting_consumer_never_stalls_the_publisher(self):
+        """A consumer that walks away mid-stream (browser tab closed)
+        must not block or starve the remaining subscribers."""
+        broker = SseBroker(max_queued=4)
+        flaky, steady = broker.subscribe(), broker.subscribe()
+        for index in range(3):
+            broker.publish("fleet", f'{{"seq": {index}}}')
+        broker.unsubscribe(flaky)  # consumer gone, queue still full
+        for index in range(3, 10):
+            broker.publish("fleet", f'{{"seq": {index}}}')
+        got = []
+        while True:
+            try:
+                got.append(json.loads(steady.get_nowait()[1])["seq"])
+            except queue.Empty:
+                break
+        assert got == [6, 7, 8, 9]  # newest survive, oldest dropped
+        assert flaky.qsize() == 3  # no deliveries after unsubscribe
 
 
 @pytest.fixture(scope="module")
