@@ -10,6 +10,11 @@
   trajectories, making them the new committed baseline.
 * ``repro bench report`` — render the trajectories (plus the current
   run) into one self-contained HTML file with per-figure sparklines.
+* ``repro bench explain`` — root-cause one figure metric's movement:
+  re-run the point under the candidate and baseline configurations,
+  digest-diff the runs (:mod:`repro.obs.diff`), and attach the
+  attribution to the record. Exit codes mirror ``repro diff``:
+  2 = attributed, 0 = identical, 1 = error.
 """
 
 from __future__ import annotations
@@ -89,6 +94,20 @@ def add_bench_parser(commands) -> None:
     report.add_argument("--no-current", action="store_true",
                         help="report the committed trajectories only")
 
+    explain = verbs.add_parser(
+        "explain", help="root-cause one metric's movement by re-running "
+                        "the point and digest-diffing it against the "
+                        "committed baseline (exit 2 = attributed)")
+    explain.add_argument("figure", help="figure id, e.g. fig5")
+    explain.add_argument("--metric", default=None,
+                         help="metric name (e.g. "
+                              "'OLTP-St/dma-ta-pl/cp=0.02'); default: "
+                              "the worst-deviating paper-tied metric")
+    _add_location_args(explain)
+    explain.add_argument("--no-write", action="store_true",
+                         help="print the attribution without touching "
+                              "the record JSON")
+
 
 def _add_location_args(parser) -> None:
     parser.add_argument("--results-dir", default="benchmarks/results",
@@ -104,6 +123,7 @@ def cmd_bench(args) -> int:
         "compare": _cmd_compare,
         "update-baseline": _cmd_update_baseline,
         "report": _cmd_report,
+        "explain": _cmd_explain,
     }[args.bench_command]
     return handler(args)
 
@@ -216,6 +236,12 @@ def _cmd_update_baseline(args) -> int:
     print(f"{len(records)} record(s) appended across "
           f"{len(written)} trajectory file(s)")
     return 0
+
+
+def _cmd_explain(args) -> int:
+    from repro.bench.explain import cmd_explain
+
+    return cmd_explain(args)
 
 
 def _cmd_report(args) -> int:

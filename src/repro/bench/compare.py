@@ -311,6 +311,12 @@ def render_comparison(comparison: Comparison, verbose: bool = False) -> str:
         lines.append("  improvements:")
         for verdict in comparison.improvements:
             lines.append(f"  + [{verdict.figure}] {verdict.describe()}")
+    if comparison.regressions:
+        figures = sorted({v.figure for v in comparison.regressions})
+        lines.append("  root-cause a regression with "
+                     f"`repro bench explain {figures[0]} "
+                     "--metric <name>` (re-runs the point against the "
+                     "baseline and digest-diffs the runs)")
     return "\n".join(lines)
 
 

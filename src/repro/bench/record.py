@@ -118,6 +118,12 @@ class BenchRecord:
             ran a fleet-observed parallel sweep; empty otherwise. An
             additive block: absent in older records, tolerated by the
             parser without a schema bump.
+        explain: root-cause attribution attached by ``repro bench
+            explain`` — the regressed metric, the baseline it was
+            compared against, the digest-divergence verdict
+            (:meth:`repro.obs.diff.DivergenceReport.as_dict`), and the
+            per-bucket energy attribution. Additive like ``fleet``:
+            empty unless an explain pass ran.
     """
 
     name: str
@@ -130,6 +136,7 @@ class BenchRecord:
     profile: list[dict[str, Any]] | None = None
     audit: dict[str, Any] = field(default_factory=dict)
     fleet: dict[str, Any] = field(default_factory=dict)
+    explain: dict[str, Any] = field(default_factory=dict)
 
     # --- derived ---------------------------------------------------------
 
@@ -184,6 +191,8 @@ class BenchRecord:
         }
         if self.fleet:
             out["fleet"] = dict(self.fleet)
+        if self.explain:
+            out["explain"] = dict(self.explain)
         if self.profile is not None:
             out["profile"] = list(self.profile)
         return out
@@ -228,6 +237,9 @@ class BenchRecord:
         fleet = obj.get("fleet", {})
         if not isinstance(fleet, Mapping):
             raise BenchFormatError(f"{where}: fleet is not an object")
+        explain = obj.get("explain", {})
+        if not isinstance(explain, Mapping):
+            raise BenchFormatError(f"{where}: explain is not an object")
         return cls(
             name=name, figure=figure,
             created=str(obj.get("created", "")),
@@ -237,6 +249,7 @@ class BenchRecord:
             profile=list(profile) if profile is not None else None,
             audit=dict(audit),
             fleet=dict(fleet),
+            explain=dict(explain),
         )
 
 

@@ -17,8 +17,10 @@ Examples::
     repro audit st.jsonl --technique dma-ta --mu 2.0 --strict
     repro stats st.jsonl --technique dma-ta-pl
     repro watch st.jsonl --technique dma-ta-pl --cp-limit 0.1
+    repro diff st.jsonl --technique dma-ta --engines precise,precise-scalar
     repro bench run --quick
     repro bench compare --fail-on-regression
+    repro bench explain fig5 --metric "OLTP-St/dma-ta-pl/cp=0.02"
     repro bench report -o bench_report.html
 
 ``--log-level`` (or the ``REPRO_LOG_LEVEL`` environment variable) turns
@@ -320,6 +322,73 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="FRAC",
                        help="where in the trace the injected spike "
                             "lands (fraction of the duration)")
+
+    diff = commands.add_parser(
+        "diff", help="run two configurations of one trace, compare their "
+                     "per-epoch state-digest chains, and bisect to the "
+                     "first divergent epoch and field (exit 0 identical, "
+                     "2 diverged, 1 error)")
+    diff.add_argument("trace")
+    diff.add_argument("--technique", choices=TECHNIQUES, default="dma-ta")
+    diff.add_argument("--engine", choices=ENGINES, default="fluid",
+                      help="engine for both sides (see --engines)")
+    diff.add_argument("--engines", default=None, metavar="A,B",
+                      help="engine pair, e.g. precise,precise-scalar — "
+                           "overrides --engine per side")
+    diff.add_argument("--cp-limit", type=float, default=None)
+    diff.add_argument("--mu", type=float, default=None)
+    diff.add_argument("--seed", type=int, default=0)
+    diff.add_argument("--technique-b", choices=TECHNIQUES, default=None,
+                      help="run B technique (default: same as run A)")
+    diff.add_argument("--cp-limit-b", type=float, default=None,
+                      help="run B CP-Limit (default: same as run A)")
+    diff.add_argument("--mu-b", type=float, default=None,
+                      help="run B mu (default: same as run A)")
+    diff.add_argument("--seed-b", type=int, default=None,
+                      help="run B layout seed (default: same as run A)")
+    diff.add_argument("--epoch-cycles", type=float, default=None,
+                      help="digest period in memory cycles (default: the "
+                           "run's DMA-TA epoch length)")
+    diff.add_argument("--capacity", type=int, default=4096,
+                      help="digest ring rows kept; on overflow every "
+                           "other row is dropped and the stride doubles")
+    diff.add_argument("--against", default=None, metavar="TRAIL_JSON",
+                      help="compare run A against a digest trail saved "
+                           "with --save instead of running B (chain-"
+                           "level comparison only)")
+    diff.add_argument("--save", default=None, metavar="TRAIL_JSON",
+                      help="write run A's digest trail to this file")
+    diff.add_argument("--inject-epoch-skew", type=int, default=None,
+                      metavar="EPOCH",
+                      help="fault injection: add --skew-cycles phantom "
+                           "degradation cycles to run B's observed "
+                           "series at exactly this digest epoch — the "
+                           "bisection must localise it; the simulation "
+                           "itself is untouched")
+    diff.add_argument("--skew-cycles", type=float, default=1.0,
+                      help="size of the injected epoch skew")
+    diff.add_argument("--no-causes", action="store_true",
+                      help="skip tracing the bisection re-runs for "
+                           "window causes (faster)")
+    diff.add_argument("--trace-out", default=None,
+                      help="write an aligned two-run Chrome-trace/"
+                           "Perfetto JSON export to this file")
+    diff.add_argument("--json-out", default=None,
+                      help="write the structured divergence report "
+                           "(JSON) to this file")
+    diff.add_argument("--serve", action="store_true",
+                      help="serve the finished report on a local HTTP "
+                           "dashboard")
+    diff.add_argument("--serve-port", type=int, default=0,
+                      help="dashboard HTTP port (0 = ephemeral)")
+    diff.add_argument("--host", default="127.0.0.1",
+                      help="dashboard bind address")
+    diff.add_argument("--port-file", default=None,
+                      help="write the bound port to this file once "
+                           "listening")
+    diff.add_argument("--linger-s", type=float, default=10.0,
+                      help="keep the --serve dashboard up this many "
+                           "seconds after printing the report")
 
     calibrate = commands.add_parser(
         "calibrate", help="show the mu a CP-Limit translates to")
@@ -837,6 +906,129 @@ def _cmd_watch(args) -> int:
     return 0
 
 
+def _cmd_diff(args) -> int:
+    """``repro diff``: first-divergence bisection between two runs.
+
+    Exit codes (satellite convention, mirroring ``fleet.stall:``):
+    0 = chains identical, 2 = diverged (the report names the first
+    divergent epoch/field), 1 = any error. Errors are handled here —
+    not left to :func:`main` — because ``main`` maps :class:`ReproError`
+    to exit 2, which this command reserves for divergence.
+    """
+    import time
+
+    from repro.errors import DiffError
+    from repro.obs.diff import (
+        DigestConfig,
+        SimRunSpec,
+        diff_runs,
+        read_trail,
+        write_trail,
+    )
+    from repro.sim.run import validate_simulation_args
+
+    try:
+        engine_a = engine_b = args.engine
+        if args.engines:
+            parts = [part.strip() for part in args.engines.split(",")]
+            if len(parts) != 2 or not all(p in ENGINES for p in parts):
+                raise DiffError(f"--engines wants two of {ENGINES} "
+                                f"(comma-separated), got {args.engines!r}")
+            engine_a, engine_b = parts
+        validate_simulation_args(args.technique, engine_a,
+                                 mu=args.mu, cp_limit=args.cp_limit)
+        technique_b = args.technique_b or args.technique
+        mu_b, cp_limit_b = args.mu, args.cp_limit
+        if args.mu_b is not None:
+            mu_b, cp_limit_b = args.mu_b, None
+        if args.cp_limit_b is not None:
+            mu_b, cp_limit_b = None, args.cp_limit_b
+        seed_b = args.seed_b if args.seed_b is not None else args.seed
+        validate_simulation_args(technique_b, engine_b,
+                                 mu=mu_b, cp_limit=cp_limit_b)
+        trace = read_trace(args.trace)
+        spec_a = SimRunSpec(trace=trace, technique=args.technique,
+                            engine=engine_a, mu=args.mu,
+                            cp_limit=args.cp_limit, seed=args.seed)
+        spec_b = SimRunSpec(trace=trace, technique=technique_b,
+                            engine=engine_b, mu=mu_b,
+                            cp_limit=cp_limit_b, seed=seed_b,
+                            inject_skew_epoch=args.inject_epoch_skew,
+                            inject_skew_cycles=args.skew_cycles)
+
+        tracer_a = tracer_b = None
+        if args.trace_out:
+            from repro.obs.tracer import RingTracer
+
+            tracer_a, tracer_b = RingTracer(), RingTracer()
+
+        trail_a = None
+        if args.save:
+            # Run A once up front so its trail can be persisted; the
+            # diff reuses it instead of re-running.
+            trail_a = spec_a.runner()(
+                DigestConfig(epoch_cycles=args.epoch_cycles,
+                             capacity=args.capacity), tracer=tracer_a)
+            write_trail(trail_a, args.save)
+            print(f"wrote {args.save}: {trail_a.ticks} digest epochs "
+                  f"(chain tip {trail_a.chain_tip})")
+
+        if args.against:
+            trail_b, run_b = read_trail(args.against), None
+            label_b = f"trail {args.against}"
+        else:
+            trail_b, run_b = None, spec_b.runner()
+            label_b = spec_b.label
+        report = diff_runs(spec_a.runner(), run_b,
+                           label_a=spec_a.label, label_b=label_b,
+                           epoch_cycles=args.epoch_cycles,
+                           capacity=args.capacity,
+                           trail_a=trail_a, trail_b=trail_b,
+                           collect_causes=not args.no_causes,
+                           tracer_a=tracer_a, tracer_b=tracer_b)
+
+        print(report.render())
+        print(report.summary_line())
+        if args.json_out:
+            with open(args.json_out, "w", encoding="utf-8") as handle:
+                json.dump(report.as_dict(), handle, indent=2)
+            print(f"wrote {args.json_out}")
+        if args.trace_out:
+            from repro.obs.export import diff_chrome_trace
+
+            payload = diff_chrome_trace(
+                tracer_a.events if tracer_a is not None else [],
+                tracer_b.events if tracer_b is not None else [],
+                label_a=spec_a.label, label_b=label_b)
+            with open(args.trace_out, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            print(f"wrote {args.trace_out} (aligned two-run Perfetto "
+                  "export)")
+        if args.serve:
+            from repro.obs.serve import DiffServer
+
+            server = DiffServer(report, host=args.host,
+                                port=args.serve_port,
+                                title=f"repro diff: {trace.name}")
+            server.start()
+            print(f"diff report at {server.url}")
+            if args.port_file:
+                with open(args.port_file, "w", encoding="utf-8") as handle:
+                    handle.write(f"{server.port}\n")
+            if args.linger_s > 0:
+                print(f"report stays up for {args.linger_s:g}s "
+                      "(Ctrl-C to stop early)")
+                try:
+                    time.sleep(args.linger_s)
+                except KeyboardInterrupt:
+                    pass
+            server.stop()
+    except (ReproError, FileNotFoundError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0 if report.identical else 2
+
+
 def _cmd_calibrate(args) -> int:
     trace = read_trace(args.trace)
     calibration = calibrate_mu(trace, SimulationConfig(), args.cp_limit)
@@ -888,6 +1080,7 @@ _COMMANDS = {
     "audit": _cmd_audit,
     "stats": _cmd_stats,
     "watch": _cmd_watch,
+    "diff": _cmd_diff,
     "calibrate": _cmd_calibrate,
     "report": _cmd_report,
     "bench": _cmd_bench,

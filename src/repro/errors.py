@@ -53,6 +53,11 @@ class TelemetryError(ReproError):
     before bind, ...). Never raised on a correctly wired run."""
 
 
+class DiffError(ReproError):
+    """A differential-observability operation failed (digest recorder
+    misuse, malformed trail file, un-diffable run pair, ...)."""
+
+
 class LayoutError(ReproError):
     """A page layout operation is invalid (unknown page, full chip, ...)."""
 

@@ -31,6 +31,11 @@ The observability layer of the simulator:
   :mod:`repro.obs.serve` + :mod:`repro.obs.dashboard` put an HTTP
   dashboard on top (``repro watch``). Telemetry-enabled runs stay
   bit-identical in energy.
+* **diff** (:mod:`repro.obs.diff`) — differential observability:
+  per-epoch rolling state-digest chains (``simulate(..., digests=...)``,
+  bit-identity preserving like telemetry), first-divergence bisection
+  between two runs with field-level attribution and window causes
+  (``repro diff``), and the machinery behind ``repro bench explain``.
 * **fleet** (:mod:`repro.obs.fleet`) — cross-process observability for
   :func:`repro.exec.run_many` fan-outs: pool workers stream
   started/heartbeat/finished events, ring-buffered trace spans, and
@@ -83,9 +88,25 @@ from repro.obs.perf import (
     profiling_enabled,
     run_profiled,
 )
+from repro.obs.diff import (
+    DigestConfig,
+    DigestRecorder,
+    DigestStore,
+    DigestTrail,
+    DivergenceReport,
+    SimRunSpec,
+    diff_runs,
+    diff_specs,
+    first_divergent_bracket,
+    read_trail,
+    render_result_delta,
+    result_delta,
+    write_trail,
+)
 from repro.obs.export import (
     RESIDENCY_BUCKETS,
     chrome_trace,
+    diff_chrome_trace,
     residency_from_events,
     validate_chrome_trace,
     write_chrome_trace,
@@ -144,8 +165,14 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "HistogramSummary",
     "MetricsRegistry", "MetricsReport", "render_metrics",
     # export
-    "chrome_trace", "write_chrome_trace", "validate_chrome_trace",
-    "residency_from_events", "RESIDENCY_BUCKETS",
+    "chrome_trace", "diff_chrome_trace", "write_chrome_trace",
+    "validate_chrome_trace", "residency_from_events",
+    "RESIDENCY_BUCKETS",
+    # diff (differential observability)
+    "DigestConfig", "DigestRecorder", "DigestStore", "DigestTrail",
+    "DivergenceReport", "SimRunSpec", "diff_runs", "diff_specs",
+    "first_divergent_bracket", "read_trail", "write_trail",
+    "result_delta", "render_result_delta",
     # telemetry (repro.obs.serve/.dashboard stay lazy: they pull in the
     # bench report's SVG machinery, which repro watch alone needs)
     "TelemetrySampler", "TelemetryConfig", "TelemetryStore",

@@ -147,6 +147,40 @@ def chrome_trace(events: Iterable[Event],
     }
 
 
+#: PID offset applied to run B's tracks in :func:`diff_chrome_trace` so
+#: the two runs render as separate, vertically aligned process groups.
+_DIFF_PID_OFFSET = 100
+
+
+def diff_chrome_trace(events_a: Iterable[Event],
+                      events_b: Iterable[Event],
+                      frequency_hz: float = units.RDRAM_FREQUENCY_HZ,
+                      label_a: str = "run A",
+                      label_b: str = "run B") -> dict[str, Any]:
+    """Merge two runs' event streams into one aligned Chrome trace.
+
+    Run A keeps the standard track layout; run B's process ids are
+    shifted by a constant offset and its process names suffixed with the
+    run label, so Perfetto shows ``memory chips — run A`` directly above
+    ``memory chips — run B`` on a shared time axis. This is the visual
+    companion of :func:`repro.obs.diff.diff_runs`: scroll to the
+    reported divergence epoch and compare the two runs' spans in place.
+    """
+    merged = chrome_trace(events_a, frequency_hz=frequency_hz,
+                          label=f"{label_a} vs {label_b}")
+    trace_b = chrome_trace(events_b, frequency_hz=frequency_hz)
+    for event in merged["traceEvents"]:
+        if event["ph"] == "M" and event["name"] == "process_name":
+            event["args"]["name"] += f" — {label_a}"
+    for event in trace_b["traceEvents"]:
+        event = dict(event)
+        event["pid"] += _DIFF_PID_OFFSET
+        if event["ph"] == "M" and event["name"] == "process_name":
+            event["args"] = {"name": f"{event['args']['name']} — {label_b}"}
+        merged["traceEvents"].append(event)
+    return merged
+
+
 def write_chrome_trace(events: Iterable[Event], path: str | Path,
                        frequency_hz: float = units.RDRAM_FREQUENCY_HZ,
                        label: str | None = None) -> Path:
@@ -231,6 +265,7 @@ def residency_from_events(events: Iterable[Event]) -> dict[int, dict[str, float]
 
 
 __all__ = [
-    "RESIDENCY_BUCKETS", "chrome_trace", "write_chrome_trace",
-    "validate_chrome_trace", "residency_from_events",
+    "RESIDENCY_BUCKETS", "chrome_trace", "diff_chrome_trace",
+    "write_chrome_trace", "validate_chrome_trace",
+    "residency_from_events",
 ]

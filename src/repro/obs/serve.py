@@ -1,8 +1,12 @@
 """Stdlib HTTP servers for live observability.
 
-A :class:`TelemetryServer` (``repro watch``) wraps
-``http.server.ThreadingHTTPServer`` in a daemon thread and serves, off
-one bound :class:`~repro.obs.telemetry.TelemetrySampler`:
+All three servers share one lifecycle base,
+:class:`ObservabilityServer`: a ``ThreadingHTTPServer`` run in a daemon
+thread with ``start()``/``stop()``, an ephemeral port via ``port=0``,
+and a cooperative ``stopping`` flag the SSE streams poll.
+
+A :class:`TelemetryServer` (``repro watch``) serves, off one bound
+:class:`~repro.obs.telemetry.TelemetrySampler`:
 
 * ``/`` — the self-contained HTML dashboard shell,
 * ``/panels`` — the server-rendered SVG panel fragment the page polls,
@@ -15,6 +19,10 @@ off a :class:`~repro.obs.fleet.FleetCollector`: ``/`` (fleet dashboard
 shell), ``/panels`` (worker/straggler tables), ``/fleet.json`` (the raw
 snapshot), and ``/events`` (SSE feed of fleet snapshots and
 ``fleet.stall`` diagnoses).
+
+A :class:`DiffServer` (``repro diff --serve``) serves a finished
+:class:`~repro.obs.diff.DivergenceReport`: ``/`` (the rendered report)
+and ``/report.json`` (the structured verdict).
 
 No third-party dependency: the whole thing is ``http.server`` +
 ``threading``, matching the repo's stdlib-only constraint.
@@ -42,6 +50,7 @@ from repro.obs.telemetry import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.diff import DivergenceReport
     from repro.obs.fleet import FleetCollector
 
 logger = logging.getLogger("repro.obs.serve")
@@ -50,33 +59,28 @@ logger = logging.getLogger("repro.obs.serve")
 _SSE_PING_S = 1.0
 
 
-class TelemetryServer(ThreadingHTTPServer):
-    """Threaded HTTP server bound to one telemetry sampler.
+class ObservabilityServer(ThreadingHTTPServer):
+    """Lifecycle base of the dashboard servers.
+
+    Subclasses set :attr:`_thread_name` and :attr:`_what` (for the
+    startup log line), pass their request-handler class to
+    ``__init__``, and may override :meth:`_on_stop` (extra teardown
+    before the HTTP shutdown) and :meth:`_extra_stopping` (additional
+    stop conditions the SSE streams should honour).
 
     Pass ``port=0`` for an ephemeral port (read the actual one from
-    :attr:`port`). The server owns a :class:`PrometheusExporter` and an
-    :class:`SseBroker`; register both on the sampler via
-    :attr:`exporters` before the run starts.
+    :attr:`port`).
     """
 
     daemon_threads = True
+    _thread_name = "obs-http"
+    _what = "dashboard"
 
-    def __init__(self, sampler: TelemetrySampler, host: str = "127.0.0.1",
-                 port: int = 0, title: str = "simulation",
-                 refresh_ms: int = 1000) -> None:
-        self.sampler = sampler
-        self.title = title
-        self.refresh_ms = refresh_ms
-        self.prometheus = PrometheusExporter()
-        self.sse = SseBroker()
+    def __init__(self, handler_class, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
         self._stopping = threading.Event()
         self._thread: threading.Thread | None = None
-        super().__init__((host, port), _TelemetryHandler)
-
-    @property
-    def exporters(self) -> list:
-        """Exporters to register on the sampler (order is irrelevant)."""
-        return [self.prometheus, self.sse]
+        super().__init__((host, port), handler_class)
 
     @property
     def host(self) -> str:
@@ -92,23 +96,61 @@ class TelemetryServer(ThreadingHTTPServer):
 
     def start(self) -> None:
         self._thread = threading.Thread(target=self.serve_forever,
-                                        name="telemetry-http", daemon=True)
+                                        name=self._thread_name, daemon=True)
         self._thread.start()
-        logger.info("telemetry dashboard at %s", self.url)
+        logger.info("%s at %s", self._what, self.url)
 
     def stop(self) -> None:
-        """Shut down: wake SSE subscribers, stop accepting, join."""
+        """Shut down: run subclass teardown, stop accepting, join."""
         self._stopping.set()
-        self.sse.close()
+        self._on_stop()
         self.shutdown()
         self.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
 
+    def _on_stop(self) -> None:
+        """Subclass hook run before the HTTP shutdown (e.g. closing an
+        SSE broker so blocked streams wake up)."""
+
+    def _extra_stopping(self) -> bool:
+        """Subclass hook: additional conditions that end SSE streams."""
+        return False
+
     @property
     def stopping(self) -> bool:
-        return self._stopping.is_set()
+        return self._stopping.is_set() or self._extra_stopping()
+
+
+class TelemetryServer(ObservabilityServer):
+    """Threaded HTTP server bound to one telemetry sampler.
+
+    The server owns a :class:`PrometheusExporter` and an
+    :class:`SseBroker`; register both on the sampler via
+    :attr:`exporters` before the run starts.
+    """
+
+    _thread_name = "telemetry-http"
+    _what = "telemetry dashboard"
+
+    def __init__(self, sampler: TelemetrySampler, host: str = "127.0.0.1",
+                 port: int = 0, title: str = "simulation",
+                 refresh_ms: int = 1000) -> None:
+        self.sampler = sampler
+        self.title = title
+        self.refresh_ms = refresh_ms
+        self.prometheus = PrometheusExporter()
+        self.sse = SseBroker()
+        super().__init__(_TelemetryHandler, host=host, port=port)
+
+    @property
+    def exporters(self) -> list:
+        """Exporters to register on the sampler (order is irrelevant)."""
+        return [self.prometheus, self.sse]
+
+    def _on_stop(self) -> None:
+        self.sse.close()  # wake SSE subscribers before shutdown
 
 
 class _BaseHandler(BaseHTTPRequestHandler):
@@ -201,17 +243,17 @@ class _TelemetryHandler(_BaseHandler):
         })
 
 
-class FleetServer(ThreadingHTTPServer):
+class FleetServer(ObservabilityServer):
     """Threaded HTTP server bound to one fleet collector.
 
     The ``repro sweep --watch`` counterpart of :class:`TelemetryServer`:
-    same lifecycle (``start()``/``stop()``, ephemeral port via
-    ``port=0``), but rendering the collector's live fleet snapshot and
-    relaying its SSE broker. The server does not own the collector — the
-    sweep creates and closes it.
+    same lifecycle, but rendering the collector's live fleet snapshot
+    and relaying its SSE broker. The server does not own the collector —
+    the sweep creates and closes it.
     """
 
-    daemon_threads = True
+    _thread_name = "fleet-http"
+    _what = "fleet dashboard"
 
     def __init__(self, collector: "FleetCollector",
                  host: str = "127.0.0.1", port: int = 0,
@@ -219,40 +261,10 @@ class FleetServer(ThreadingHTTPServer):
         self.collector = collector
         self.title = title
         self.refresh_ms = refresh_ms
-        self._stopping = threading.Event()
-        self._thread: threading.Thread | None = None
-        super().__init__((host, port), _FleetHandler)
+        super().__init__(_FleetHandler, host=host, port=port)
 
-    @property
-    def host(self) -> str:
-        return self.server_address[0]
-
-    @property
-    def port(self) -> int:
-        return self.server_address[1]
-
-    @property
-    def url(self) -> str:
-        return f"http://{self.host}:{self.port}/"
-
-    def start(self) -> None:
-        self._thread = threading.Thread(target=self.serve_forever,
-                                        name="fleet-http", daemon=True)
-        self._thread.start()
-        logger.info("fleet dashboard at %s", self.url)
-
-    def stop(self) -> None:
-        """Shut down: stop accepting, wake SSE streams, join."""
-        self._stopping.set()
-        self.shutdown()
-        self.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
-
-    @property
-    def stopping(self) -> bool:
-        return self._stopping.is_set() or self.collector.broker.closed
+    def _extra_stopping(self) -> bool:
+        return self.collector.broker.closed
 
 
 class _FleetHandler(_BaseHandler):
@@ -280,4 +292,61 @@ class _FleetHandler(_BaseHandler):
             pass  # client went away mid-response; nothing to clean up
 
 
-__all__ = ["TelemetryServer", "FleetServer"]
+class DiffServer(ObservabilityServer):
+    """Threaded HTTP server presenting one finished divergence report.
+
+    The ``repro diff --serve`` panel: ``/`` renders the report text
+    (side-by-side window causes included), ``/report.json`` the
+    structured verdict. Static content — no SSE feed.
+    """
+
+    _thread_name = "diff-http"
+    _what = "diff report"
+
+    def __init__(self, report: "DivergenceReport",
+                 host: str = "127.0.0.1", port: int = 0,
+                 title: str = "repro diff") -> None:
+        self.report = report
+        self.title = title
+        super().__init__(_DiffHandler, host=host, port=port)
+
+
+class _DiffHandler(_BaseHandler):
+    server: DiffServer  # narrowed for the route handlers
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler name)
+        try:
+            path = self.path.split("?", 1)[0]
+            if path == "/":
+                self._send(200, "text/html; charset=utf-8",
+                           self._render_page())
+            elif path == "/report.json":
+                self._send(200, "application/json",
+                           json.dumps(self.server.report.as_dict()))
+            else:
+                self._send(404, "text/plain; charset=utf-8", "not found\n")
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response; nothing to clean up
+
+    def _render_page(self) -> str:
+        report = self.server.report
+        verdict = "identical" if report.identical else "DIVERGED"
+        body = (report.render()
+                .replace("&", "&amp;").replace("<", "&lt;"))
+        return (
+            "<!doctype html><html><head><meta charset='utf-8'>"
+            f"<title>{self.server.title}</title>"
+            "<style>body{font-family:monospace;margin:2em;}"
+            "pre{background:#f6f6f6;padding:1em;}"
+            ".diverged{color:#b00;} .identical{color:#070;}</style>"
+            "</head><body>"
+            f"<h1>{self.server.title} — "
+            f"<span class='{verdict.lower()}'>{verdict}</span></h1>"
+            f"<pre>{body}</pre>"
+            f"<pre>{report.summary_line()}</pre>"
+            "<p><a href='/report.json'>report.json</a></p>"
+            "</body></html>")
+
+
+__all__ = ["ObservabilityServer", "TelemetryServer", "FleetServer",
+           "DiffServer"]

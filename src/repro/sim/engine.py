@@ -27,6 +27,9 @@ class EventKind(enum.IntEnum):
     # TELEMETRY pops last at equal timestamps so a sample observes the
     # post-everything state of its instant; the handler is read-only.
     TELEMETRY = 6
+    # DIGEST follows the same read-only discipline: it pops after
+    # TELEMETRY so digest chains fold the fully settled epoch state.
+    DIGEST = 7
 
 
 class EventQueue:

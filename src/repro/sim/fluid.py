@@ -79,12 +79,17 @@ class FluidEngine:
             the run schedules read-only TELEMETRY events at the
             sampler's cadence. Sampling never touches chip accrual, so
             a telemetry-enabled run stays bit-identical in energy.
+        digests: optional :class:`~repro.obs.diff.DigestRecorder`; when
+            given, the run schedules read-only DIGEST events at the
+            recorder's epoch cadence and folds the observable state into
+            a rolling hash chain. Same bit-identity discipline as
+            telemetry.
     """
 
     def __init__(self, trace: Trace, config: SimulationConfig,
                  technique: str = "baseline", seed: int = 0,
                  record_timeline: bool = False,
-                 tracer=None, telemetry=None) -> None:
+                 tracer=None, telemetry=None, digests=None) -> None:
         if technique not in TECHNIQUES:
             raise ConfigurationError(
                 f"unknown technique {technique!r}; expected one of {TECHNIQUES}")
@@ -185,6 +190,9 @@ class FluidEngine:
         self.telemetry = telemetry
         if telemetry is not None:
             telemetry.bind(self)
+        self.digests = digests
+        if digests is not None:
+            digests.bind(self)
 
     # ------------------------------------------------------------------
     # Global request-arrival accounting (slack credits)
@@ -231,6 +239,9 @@ class FluidEngine:
         if self.telemetry is not None:
             self.queue.push(self.telemetry.sample_cycles,
                             EventKind.TELEMETRY, None)
+        if self.digests is not None:
+            self.queue.push(self.digests.sample_cycles,
+                            EventKind.DIGEST, None)
 
         while self.queue:
             now, kind, payload = self.queue.pop()
@@ -239,6 +250,10 @@ class FluidEngine:
                 # telemetry-enabled run must replay the disabled run's
                 # event sequence exactly.
                 self._on_telemetry(now)
+                continue
+            if kind is EventKind.DIGEST:
+                # Same read-only discipline as TELEMETRY.
+                self._on_digest(now)
                 continue
             if kind is EventKind.ARRIVAL:
                 self._on_arrival(payload, now)
@@ -258,6 +273,8 @@ class FluidEngine:
         self.memory.advance_all(end)
         if self.telemetry is not None:
             self.telemetry.sample(end, final=True)
+        if self.digests is not None:
+            self.digests.sample(end, final=True)
         return self._build_result(end)
 
     def _work_remaining(self) -> bool:
@@ -408,6 +425,12 @@ class FluidEngine:
         if self._work_remaining():
             self.queue.push(now + self.telemetry.sample_cycles,
                             EventKind.TELEMETRY, None)
+
+    def _on_digest(self, now: float) -> None:
+        self.digests.sample(now)
+        if self._work_remaining():
+            self.queue.push(now + self.digests.sample_cycles,
+                            EventKind.DIGEST, None)
 
     def _on_interval(self, now: float) -> None:
         if self._records_done and not self._active:

@@ -49,10 +49,12 @@ _EV_CHIP_READY = 4
 _EV_DESCENT = 5
 _EV_EPOCH = 6
 _EV_INTERVAL = 7
-# Highest kind: a telemetry sample pops last at equal timestamps, so it
-# observes the post-everything state of its instant. Handled inline in
-# the run loop (read-only, never in _HANDLERS, never extends the run).
+# Highest kinds: a telemetry sample / state digest pops last at equal
+# timestamps, so it observes the post-everything state of its instant.
+# Handled inline in the run loop (read-only, never in _HANDLERS, never
+# extends the run). DIGEST pops after TELEMETRY.
 _EV_TELEMETRY = 8
+_EV_DIGEST = 9
 
 # Request priority classes (lower value served first).
 _PRIO_PROC = 0
@@ -378,7 +380,7 @@ class PreciseEngine:
     def __init__(self, trace: Trace, config: SimulationConfig,
                  technique: str = "baseline", seed: int = 0,
                  tracer=None, vectorize: bool = True,
-                 telemetry=None) -> None:
+                 telemetry=None, digests=None) -> None:
         if technique not in TECHNIQUES:
             raise ConfigurationError(
                 f"unknown technique {technique!r}; expected one of {TECHNIQUES}")
@@ -457,6 +459,7 @@ class PreciseEngine:
         self._next_epoch_time = math.inf
         self._next_interval_time = math.inf
         self._next_telemetry_time = math.inf
+        self._next_digest_time = math.inf
         if vectorize:
             from repro.sim.array_timeline import ArrayTimelineKernel
 
@@ -480,6 +483,9 @@ class PreciseEngine:
         self.telemetry = telemetry
         if telemetry is not None:
             telemetry.bind(self)
+        self.digests = digests
+        if digests is not None:
+            digests.bind(self)
 
     def _arrived_requests(self) -> float:
         return float(self.arrived_requests)
@@ -513,6 +519,9 @@ class PreciseEngine:
         if self.telemetry is not None:
             self._next_telemetry_time = self.telemetry.sample_cycles
             self.queue.push(self._next_telemetry_time, _EV_TELEMETRY, None)
+        if self.digests is not None:
+            self._next_digest_time = self.digests.sample_cycles
+            self.queue.push(self._next_digest_time, _EV_DIGEST, None)
 
         # ``progress`` tracks the last state-changing event only:
         # a trailing telemetry sample must not stretch the simulated
@@ -525,6 +534,9 @@ class PreciseEngine:
             if kind == _EV_TELEMETRY:
                 self._on_telemetry(now)
                 continue
+            if kind == _EV_DIGEST:
+                self._on_digest(now)
+                continue
             progress = now
             handler = self._HANDLERS[int(kind)]
             handler(self, payload, now)
@@ -535,6 +547,8 @@ class PreciseEngine:
             chip.touch(end)
         if self.telemetry is not None:
             self.telemetry.sample(end, final=True)
+        if self.digests is not None:
+            self.digests.sample(end, final=True)
         return self._build_result(end)
 
     def _on_telemetry(self, now: float) -> None:
@@ -544,6 +558,14 @@ class PreciseEngine:
             self.queue.push(self._next_telemetry_time, _EV_TELEMETRY, None)
         else:
             self._next_telemetry_time = math.inf
+
+    def _on_digest(self, now: float) -> None:
+        self.digests.sample(now)
+        if self._work_remaining():
+            self._next_digest_time = now + self.digests.sample_cycles
+            self.queue.push(self._next_digest_time, _EV_DIGEST, None)
+        else:
+            self._next_digest_time = math.inf
 
     def _work_remaining(self) -> bool:
         return (not self._records_done or self._open_transfers > 0

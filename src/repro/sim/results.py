@@ -73,6 +73,11 @@ class SimulationResult:
     #: see :mod:`repro.obs.perf`. Results served from the on-disk cache
     #: keep whatever the *original* computation recorded.
     profile: list[dict] | None = None
+    #: The run's :class:`~repro.obs.diff.DigestTrail` (per-epoch rolling
+    #: state-digest chain), populated only when the run was started with
+    #: ``simulate(..., digests=DigestRecorder(...))``; see
+    #: :mod:`repro.obs.diff`.
+    digests: object | None = None
 
     def hottest_chips(self, count: int = 3) -> list[tuple[int, float]]:
         """The ``count`` chips consuming the most energy, descending.

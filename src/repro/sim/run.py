@@ -52,6 +52,7 @@ def simulate(
     tracer=None,
     profile: bool | None = None,
     telemetry=None,
+    digests=None,
 ) -> SimulationResult:
     """Run one simulation of ``trace`` under ``technique``.
 
@@ -89,6 +90,12 @@ def simulate(
             migrations, bus depth) during the run; the sampler is
             read-only, so results stay bit-identical in energy. See
             ``docs/OBSERVABILITY.md`` ("Live telemetry").
+        digests: optional :class:`~repro.obs.diff.DigestRecorder`
+            folding a per-epoch state digest into a rolling hash chain;
+            the recorder's :class:`~repro.obs.diff.DigestTrail` is
+            attached to ``result.digests``. Read-only, same bit-identity
+            guarantee as telemetry. See ``docs/OBSERVABILITY.md``
+            ("Differential observability").
 
     Returns:
         The :class:`~repro.sim.results.SimulationResult`.
@@ -108,7 +115,8 @@ def simulate(
         engine_run = FluidEngine(trace, config, technique=technique,
                                  seed=seed,
                                  record_timeline=record_timeline,
-                                 tracer=tracer, telemetry=telemetry).run
+                                 tracer=tracer, telemetry=telemetry,
+                                 digests=digests).run
     else:
         if record_timeline:
             raise ConfigurationError(
@@ -118,12 +126,16 @@ def simulate(
         engine_run = PreciseEngine(trace, config, technique=technique,
                                    seed=seed, tracer=tracer,
                                    vectorize=engine != "precise-scalar",
-                                   telemetry=telemetry).run
+                                   telemetry=telemetry,
+                                   digests=digests).run
 
     from repro.obs.perf import profiling_enabled, run_profiled
 
     if not profiling_enabled(profile):
-        return engine_run()
-    result, hot_paths = run_profiled(engine_run)
-    result.profile = hot_paths
+        result = engine_run()
+    else:
+        result, hot_paths = run_profiled(engine_run)
+        result.profile = hot_paths
+    if digests is not None:
+        result.digests = digests.trail()
     return result

@@ -17,6 +17,7 @@ import pytest
 
 from repro.analysis.sweep import sweep_cp_limit
 from repro.cli import main
+from repro.obs.diff import render_result_delta
 from repro.obs.export import validate_chrome_trace
 from repro.obs.fleet import FleetCollector, FleetConfig
 from repro.obs.serve import FleetServer
@@ -55,7 +56,12 @@ class TestFleetDeterminism:
         finally:
             collector.close()
         assert all(p.ok for p in serial + fleet)
-        assert points_as_dicts(fleet) == points_as_dicts(serial)
+        # On failure, name the first disagreeing field per point rather
+        # than dumping two full result lists.
+        assert points_as_dicts(fleet) == points_as_dicts(serial), \
+            render_result_delta(points_as_dicts(serial),
+                                points_as_dicts(fleet),
+                                label_a="serial", label_b="fleet")
         assert report.computed == len(CP_LIMITS) + 1  # + shared baseline
         assert report.failed == 0
         assert not report.stalls

@@ -12,6 +12,7 @@ layer started perturbing the physics.
 import pytest
 
 from repro import simulate
+from repro.obs.diff import render_result_delta
 from repro.obs.telemetry import TelemetryConfig, TelemetrySampler
 from repro.traces.synthetic import synthetic_storage_trace
 
@@ -35,8 +36,16 @@ def run_pair(trace, config, technique, engine):
 
 
 def assert_bit_identical(plain, telemetered):
-    assert plain.energy.as_dict() == telemetered.energy.as_dict()
-    assert plain.time.as_dict() == telemetered.time.as_dict()
+    # On failure, name the disagreeing bucket instead of dumping two
+    # dicts (bisect further with `repro diff`).
+    assert plain.energy.as_dict() == telemetered.energy.as_dict(), \
+        render_result_delta(plain.energy.as_dict(),
+                            telemetered.energy.as_dict(),
+                            label_a="plain", label_b="telemetered")
+    assert plain.time.as_dict() == telemetered.time.as_dict(), \
+        render_result_delta(plain.time.as_dict(),
+                            telemetered.time.as_dict(),
+                            label_a="plain", label_b="telemetered")
     assert plain.duration_cycles == telemetered.duration_cycles
     assert plain.requests == telemetered.requests
     assert plain.migrations == telemetered.migrations

@@ -1,0 +1,141 @@
+"""Units for ``repro bench explain`` (repro.bench.explain): record and
+metric resolution, baseline selection, the explain block, and exit
+semantics. End-to-end runs use sub-millisecond synthetic traces so the
+re-run legs stay fast."""
+
+import json
+
+import pytest
+
+from repro.bench.explain import explain_figure, render_explain
+from repro.bench.record import BenchRecord, Metric
+from repro.bench.trajectory import append_records, write_json_atomic
+from repro.errors import DiffError
+
+
+def make_record(name="fig5_savings_vs_cplimit", figure="fig5",
+                created="2026-08-07T00:00:00+00:00", bench_ms=0.5,
+                metrics=()):
+    return BenchRecord(
+        name=name, figure=figure, created=created,
+        meta={"bench_ms": bench_ms, "jobs": 1},
+        metrics=list(metrics))
+
+
+def fig5_metric(value, trace="Synthetic-St", technique="dma-ta",
+                cp=0.1, expected=None):
+    return Metric(name=f"{trace}/{technique}/cp={cp:g}", value=value,
+                  unit="fraction", expected=expected)
+
+
+@pytest.fixture
+def bench_dirs(tmp_path):
+    """(results_dir, root) with one candidate record and one committed
+    baseline run of the same point at the same duration."""
+    results = tmp_path / "results"
+    results.mkdir()
+    candidate = make_record(metrics=[fig5_metric(0.10, expected=0.06)])
+    write_json_atomic(results / f"{candidate.name}.json",
+                      candidate.to_dict())
+    baseline = make_record(created="2026-08-01T00:00:00+00:00",
+                           metrics=[fig5_metric(0.10, expected=0.06)])
+    append_records([baseline], root=tmp_path)
+    return results, tmp_path
+
+
+class TestResolution:
+    def test_unknown_figure_raises(self, bench_dirs):
+        results, root = bench_dirs
+        with pytest.raises(DiffError, match="no current record"):
+            explain_figure("fig99", results_dir=results, root=root)
+
+    def test_unknown_metric_raises(self, bench_dirs):
+        results, root = bench_dirs
+        with pytest.raises(DiffError, match="no metric"):
+            explain_figure("fig5", metric_name="nope",
+                           results_dir=results, root=root)
+
+    def test_non_fig5_metric_shape_raises(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        record = make_record(
+            metrics=[Metric(name="groups=2/savings", value=0.1)])
+        write_json_atomic(results / f"{record.name}.json",
+                          record.to_dict())
+        with pytest.raises(DiffError, match="does not map back"):
+            explain_figure("fig5", metric_name="groups=2/savings",
+                           results_dir=results, root=tmp_path)
+
+    def test_default_metric_is_worst_deviation(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        record = make_record(metrics=[
+            fig5_metric(0.061, cp=0.02, expected=0.06),   # tiny deviation
+            fig5_metric(0.50, cp=0.3, expected=0.248),    # huge deviation
+            fig5_metric(0.9, cp=0.05),                    # untied
+        ])
+        write_json_atomic(results / f"{record.name}.json",
+                          record.to_dict())
+        # No baseline trajectory: the explain still resolves the metric
+        # before it runs anything; run it for real (sub-ms trace).
+        code, explain = explain_figure("fig5", results_dir=results,
+                                       root=tmp_path, write=False)
+        assert explain["metric"] == "Synthetic-St/dma-ta/cp=0.3"
+
+    def test_missing_bench_ms_raises(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        record = make_record(bench_ms=None,
+                             metrics=[fig5_metric(0.1, expected=0.06)])
+        record.meta = {}
+        write_json_atomic(results / f"{record.name}.json",
+                          record.to_dict())
+        with pytest.raises(DiffError, match="bench_ms"):
+            explain_figure("fig5", results_dir=results, root=tmp_path)
+
+
+class TestExplainEndToEnd:
+    def test_same_duration_baseline_is_identical_exit_zero(self,
+                                                           bench_dirs):
+        results, root = bench_dirs
+        code, explain = explain_figure(
+            "fig5", metric_name="Synthetic-St/dma-ta/cp=0.1",
+            results_dir=results, root=root)
+        assert code == 0
+        assert explain["status"] == "identical"
+        assert explain["divergence"]["identical"] is True
+        # The block landed on the record JSON and still parses.
+        obj = json.loads(
+            (results / "fig5_savings_vs_cplimit.json").read_text())
+        reloaded = BenchRecord.from_dict(obj)
+        assert reloaded.explain["status"] == "identical"
+
+    def test_cross_duration_baseline_is_attributed_exit_two(self,
+                                                            tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        candidate = make_record(bench_ms=0.25,
+                                metrics=[fig5_metric(0.1, expected=0.06)])
+        write_json_atomic(results / f"{candidate.name}.json",
+                          candidate.to_dict())
+        baseline = make_record(created="2026-08-01T00:00:00+00:00",
+                               bench_ms=0.5,
+                               metrics=[fig5_metric(0.1, expected=0.06)])
+        append_records([baseline], root=tmp_path)
+        code, explain = explain_figure(
+            "fig5", metric_name="Synthetic-St/dma-ta/cp=0.1",
+            results_dir=results, root=tmp_path, write=False)
+        assert code == 2
+        assert explain["status"] == "attributed"
+        assert explain["baseline_bench_ms"] == 0.5
+        assert "truncation" in explain["summary"]
+        assert explain["energy_attribution"]  # ranked bucket shifts
+
+    def test_render_contains_greppable_line(self, bench_dirs):
+        results, root = bench_dirs
+        _code, explain = explain_figure(
+            "fig5", metric_name="Synthetic-St/dma-ta/cp=0.1",
+            results_dir=results, root=root, write=False)
+        text = render_explain("fig5", explain)
+        assert "bench.explain: figure=fig5 " in text
+        assert "status=identical" in text

@@ -14,6 +14,7 @@ import math
 import pytest
 
 from repro.config import SimulationConfig
+from repro.obs.diff import render_result_delta
 from repro.obs.tracer import RingTracer
 from repro.sim.precise import PreciseEngine
 from repro.sim.run import simulate
@@ -47,8 +48,18 @@ class TestBitExactness:
         scalar, vector, _, _ = run_pair(trace, technique)
         # EnergyBreakdown and TimeBreakdown: exact float equality per
         # bucket, not approx — the kernel replays the scalar arithmetic.
-        assert vector.energy.as_dict() == scalar.energy.as_dict()
-        assert vector.time.as_dict() == scalar.time.as_dict()
+        # On failure, name the disagreeing bucket (and bisect further
+        # with `repro diff <trace> --engines precise,precise-scalar`).
+        assert vector.energy.as_dict() == scalar.energy.as_dict(), \
+            render_result_delta(scalar.energy.as_dict(),
+                                vector.energy.as_dict(),
+                                label_a="precise-scalar",
+                                label_b="precise")
+        assert vector.time.as_dict() == scalar.time.as_dict(), \
+            render_result_delta(scalar.time.as_dict(),
+                                vector.time.as_dict(),
+                                label_a="precise-scalar",
+                                label_b="precise")
         assert vector.chip_energy == scalar.chip_energy
         # Power-state transition counts, globally and per edge.
         assert vector.metrics.transitions == scalar.metrics.transitions
